@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Output
+goes three ways: printed to stdout, written under
+``benchmarks/results/``, and attached to pytest-benchmark's
+``extra_info`` so it survives in the JSON export.
+
+Geometry note: the paper simulates 320x240 road video on ModelSim; the
+default benchmark geometry is scaled down (see ``BENCH_GEOMETRY``) so
+the whole harness runs in minutes.  Set ``REPRO_FULL_RES=1`` to run the
+Table II benchmark at the paper's full 320x240 geometry.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: scaled-down default geometry (width, height, simb payload words)
+BENCH_GEOMETRY = dict(width=96, height=72, simb_payload_words=384)
+#: the paper's geometry (320x240, 4K-word SimB)
+FULL_GEOMETRY = dict(width=320, height=240, simb_payload_words=4096)
+
+#: small geometry for the many-run campaign benches
+CAMPAIGN_GEOMETRY = dict(width=48, height=32, simb_payload_words=128)
+
+
+def geometry(full_env_var: str = "REPRO_FULL_RES") -> dict:
+    if os.environ.get(full_env_var) == "1":
+        return dict(FULL_GEOMETRY)
+    return dict(BENCH_GEOMETRY)
+
+
+def publish(name: str, text: str, benchmark=None) -> None:
+    """Print a reproduced table and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if benchmark is not None:
+        benchmark.extra_info["report"] = text
+
+
+@pytest.fixture
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,102 @@
+"""Kernel micro-benchmarks: raw event throughput of the substrate.
+
+Not a paper table — these measure the ModelSim-substitute itself, so
+regressions in the scheduler's hot paths (process resumption, signal
+update, edge dispatch, bus transfers) are visible across commits.
+The numbers also calibrate the events-per-second factor that converts
+Table II's kernel-event counts into wall-clock expectations.
+"""
+
+import pytest
+
+from repro.bus import PlbBus, PlbMemory
+from repro.kernel import Clock, Edge, MHz, Module, RisingEdge, Signal, Simulator, Timer
+
+
+def test_clock_toggle_throughput(benchmark):
+    """Pure clock generation: the floor cost of a simulated cycle."""
+
+    def run():
+        sim = Simulator()
+        clk = Clock("clk", MHz(100))
+        sim.add_module(clk)
+        sim.run(until=100_000 * MHz(100))  # 100k cycles
+        return sim.stats.events
+
+    events = benchmark(run)
+    assert events >= 2 * 100_000
+
+
+def test_edge_wait_throughput(benchmark):
+    """One process waking on every clock edge (the engine pattern)."""
+
+    def run():
+        sim = Simulator()
+        clk = Clock("clk", MHz(100))
+        sim.add_module(clk)
+        count = [0]
+
+        def waiter():
+            while True:
+                yield RisingEdge(clk.out)
+                count[0] += 1
+
+        sim.fork(waiter())
+        sim.run(until=20_000 * MHz(100))
+        return count[0]
+
+    cycles = benchmark(run)
+    assert cycles >= 19_999
+
+
+def test_signal_update_throughput(benchmark):
+    """Back-to-back non-blocking updates with a sensitive watcher."""
+
+    def run():
+        sim = Simulator()
+        sig = Signal("s", 32, init=0)
+        sim.register_signal(sig)
+        seen = [0]
+
+        def writer():
+            for i in range(10_000):
+                sig.next = i + 1
+                yield Timer(10)
+
+        def watcher():
+            while True:
+                yield Edge(sig)
+                seen[0] += 1
+
+        sim.fork(writer())
+        sim.fork(watcher())
+        sim.run()
+        return seen[0]
+
+    changes = benchmark(run)
+    assert changes == 10_000
+
+
+def test_plb_burst_throughput(benchmark):
+    """Bus-limited DMA: the IcapCTRL/engine traffic pattern."""
+
+    def run():
+        sim = Simulator()
+        top = Module("top")
+        clk = Clock("clk", MHz(100), parent=top)
+        bus = PlbBus("plb", clk, parent=top)
+        mem = PlbMemory("mem", 64 * 1024, parent=top)
+        bus.attach_slave(mem, 0, 64 * 1024)
+        port = bus.attach_master("dma")
+        sim.add_module(top)
+
+        def dma():
+            for i in range(200):
+                yield from port.write_burst(0, list(range(16)))
+
+        sim.fork(dma())
+        sim.run(until=100_000_000)
+        return bus.total_beats
+
+    beats = benchmark(run)
+    assert beats == 3200

@@ -1,0 +1,75 @@
+"""Geometry scaling study (extra experiment, not a paper table).
+
+Justifies the scaled default geometry used throughout the harness: the
+per-frame simulated time and kernel-event count must scale linearly in
+the pixel count, so shape claims measured at 96x72 transfer to the
+paper's 320x240.
+"""
+
+import pytest
+
+from repro.analysis import format_table, profile_one_frame
+from repro.system import SystemConfig
+
+from .conftest import publish
+
+GEOMETRIES = [(48, 32), (96, 72), (160, 120)]
+
+
+@pytest.fixture(scope="module")
+def scaling_profiles():
+    out = {}
+    for w, h in GEOMETRIES:
+        cfg = SystemConfig(
+            width=w, height=h,
+            simb_payload_words=max(64, w * h // 24),
+            video_backdoor=True,
+        )
+        out[(w, h)] = profile_one_frame(cfg, quantum_ps=500_000)
+    return out
+
+
+def test_scaling_report(benchmark, scaling_profiles):
+    def one():
+        cfg = SystemConfig(
+            width=48, height=32, simb_payload_words=64, video_backdoor=True
+        )
+        return profile_one_frame(cfg, quantum_ps=500_000)
+
+    benchmark.pedantic(one, rounds=1, iterations=1)
+    rows = []
+    for (w, h), p in scaling_profiles.items():
+        px = w * h
+        rows.append(
+            (
+                f"{w}x{h}",
+                px,
+                round(p.total_simulated_ps / 1e9, 4),
+                round(p.total_simulated_ps / px / 1000, 2),
+                p.total_events,
+                round(p.total_events / px, 1),
+            )
+        )
+    text = format_table(
+        ["Geometry", "Pixels", "Frame sim (ms)", "ns/pixel", "Events",
+         "Events/pixel"],
+        rows,
+        title="Scaling study — per-frame cost vs frame geometry",
+    )
+    publish("scaling", text, benchmark)
+
+    # linearity: per-pixel cost stays within 35% across a 12.5x pixel range
+    per_px = [
+        p.total_simulated_ps / (w * h)
+        for (w, h), p in scaling_profiles.items()
+    ]
+    assert max(per_px) < 1.35 * min(per_px)
+    per_px_events = [
+        p.total_events / (w * h) for (w, h), p in scaling_profiles.items()
+    ]
+    assert max(per_px_events) < 1.5 * min(per_px_events)
+
+
+def test_all_geometries_run_clean(scaling_profiles):
+    for geom, p in scaling_profiles.items():
+        assert p.clean, geom

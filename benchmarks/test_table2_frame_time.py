@@ -1,0 +1,106 @@
+"""Table II — time to simulate one video frame.
+
+Simulates one complete frame of the pipelined flow (CIE -> DPR -> ME ->
+DPR -> ISR drawing) under ReSim and reports, per execution stage, the
+simulated time, the wall-clock elapsed time, and the kernel-event count
+(the host-independent proxy for elapsed time).
+
+Absolute numbers differ from the paper (their substrate is ModelSim on
+a 2009-era host at 320x240; ours is a Python kernel at a scaled
+geometry — set REPRO_FULL_RES=1 for 320x240).  The *shape* assertions
+hold:
+
+* ME covers more simulated time than CIE (paper: 1.4 ms vs 1.1 ms),
+* CIE nevertheless takes longer to simulate — more signal activity
+  (paper: 6 min vs 4.5 min),
+* the ISR stage is cheap in both senses (paper: 0.5 ms / 0.5 min),
+* DPR is negligible because the SimB is much shorter than a real
+  bitstream (paper: <0.1 ms / negligible).
+"""
+
+import pytest
+
+from repro.analysis import format_table, profile_one_frame
+from repro.system import SystemConfig
+
+from .conftest import geometry, publish
+
+
+@pytest.fixture(scope="module")
+def frame_profile():
+    config = SystemConfig(video_backdoor=True, **geometry())
+    return profile_one_frame(config, quantum_ps=1_000_000)
+
+
+def test_table2_frame_time(benchmark, frame_profile):
+    config = SystemConfig(video_backdoor=True, **geometry())
+    profile = benchmark.pedantic(
+        profile_one_frame, args=(config,), kwargs=dict(quantum_ps=1_000_000),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        (label, round(sim_ms, 4), round(elapsed, 3), events)
+        for label, sim_ms, elapsed, events in profile.rows()
+    ]
+    text = format_table(
+        ["Stage", "Simulated Time (ms)", "Elapsed Time (s)", "Kernel events"],
+        rows,
+        title=(
+            f"Table II — time to simulate one video frame "
+            f"({config.width}x{config.height}, SimB payload "
+            f"{config.simb_payload_words} words)"
+        ),
+    )
+    publish("table2_frame_time", text, benchmark)
+    assert profile.clean
+    _assert_table2_shape(profile)
+
+
+def _assert_table2_shape(profile):
+    cie, me = profile.phase("cie"), profile.phase("me")
+    isr, dpr = profile.phase("isr_draw"), profile.phase("dpr")
+    assert me.simulated_ps > cie.simulated_ps
+    assert cie.events > me.events
+    assert cie.events_per_simulated_us > 1.2 * me.events_per_simulated_us
+    assert cie.elapsed_s > me.elapsed_s
+    assert isr.simulated_ps < cie.simulated_ps
+    assert dpr.simulated_ps < 0.1 * profile.total_simulated_ps
+
+
+def test_table2_shape_me_simulated_longer_than_cie(frame_profile):
+    assert (
+        frame_profile.phase("me").simulated_ps
+        > frame_profile.phase("cie").simulated_ps
+    )
+
+
+def test_table2_shape_cie_more_expensive_to_simulate(frame_profile):
+    """CIE has more signal activity: more kernel events overall AND per
+    unit of simulated time, despite covering less simulated time."""
+    cie = frame_profile.phase("cie")
+    me = frame_profile.phase("me")
+    assert cie.events > me.events
+    assert cie.events_per_simulated_us > 1.2 * me.events_per_simulated_us
+    assert cie.elapsed_s > me.elapsed_s
+
+
+def test_table2_shape_isr_is_cheap(frame_profile):
+    isr = frame_profile.phase("isr_draw")
+    cie = frame_profile.phase("cie")
+    assert isr.simulated_ps < cie.simulated_ps
+    assert isr.elapsed_s < 0.5 * cie.elapsed_s
+    assert isr.events < 0.5 * cie.events
+
+
+def test_table2_shape_dpr_negligible(frame_profile):
+    """Both DPR intervals together stay below ~10% of the frame."""
+    dpr = frame_profile.phase("dpr")
+    assert dpr.simulated_ps < 0.1 * frame_profile.total_simulated_ps
+    assert dpr.events < 0.1 * frame_profile.total_events
+
+
+def test_table2_simb_much_shorter_than_real_bitstream():
+    """The premise of the negligible-DPR row: SimB 4K vs real 129K."""
+    from repro.reconfig.simb import DEFAULT_PAYLOAD_WORDS, REAL_BITSTREAM_WORDS
+
+    assert REAL_BITSTREAM_WORDS / DEFAULT_PAYLOAD_WORDS > 30

@@ -1,0 +1,36 @@
+"""Measurement and reporting: the numbers behind the paper's evaluation.
+
+* :mod:`~repro.analysis.profiling` — per-phase simulated/elapsed-time
+  accounting (Table II) and simulation-overhead attribution (§V),
+* :mod:`~repro.analysis.reporting` — dependency-free table/series
+  rendering for the benchmark harness,
+* :mod:`~repro.analysis.timeline` — the development-workload model that
+  regenerates Figure 5 from this repository's own component inventory
+  and the live bug campaign.
+"""
+
+from .profiling import (
+    FrameProfile,
+    OverheadProfile,
+    PhaseStats,
+    measure_artifact_overhead,
+    profile_one_frame,
+)
+from .reporting import format_ps, format_table, Series
+from .timeline import DevelopmentTimeline, build_timeline
+from .vcdscan import VcdParseError, VcdScan
+
+__all__ = [
+    "FrameProfile",
+    "OverheadProfile",
+    "PhaseStats",
+    "measure_artifact_overhead",
+    "profile_one_frame",
+    "format_ps",
+    "format_table",
+    "Series",
+    "DevelopmentTimeline",
+    "build_timeline",
+    "VcdParseError",
+    "VcdScan",
+]

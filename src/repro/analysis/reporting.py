@@ -1,0 +1,92 @@
+"""Plain-text table and series rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "format_ps", "Series"]
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render an aligned fixed-width table (numbers right-aligned)."""
+    str_rows = [[_render(c) for c in row] for row in rows]
+    cols = len(headers)
+    for r in str_rows:
+        if len(r) != cols:
+            raise ValueError(f"row {r} has {len(r)} cells, expected {cols}")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(cols)
+    ]
+
+    def line(cells, pad=" "):
+        parts = []
+        for i, c in enumerate(cells):
+            parts.append(c.rjust(widths[i]) if _is_numeric(c) else c.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(list(headers)))
+    out.append(sep)
+    for r in str_rows:
+        out.append(line(r))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def _is_numeric(text: str) -> bool:
+    t = text.replace(",", "").replace(".", "").replace("-", "").replace("%", "")
+    return t.isdigit()
+
+
+def format_ps(ps: int) -> str:
+    """Human-readable simulated time."""
+    if ps >= 1_000_000_000:
+        return f"{ps / 1_000_000_000:.3f} ms"
+    if ps >= 1_000_000:
+        return f"{ps / 1_000_000:.2f} us"
+    if ps >= 1_000:
+        return f"{ps / 1_000:.1f} ns"
+    return f"{ps} ps"
+
+
+@dataclass
+class Series:
+    """A named data series (one line of a figure)."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(x)
+        self.y.append(y)
+
+    def render(self, x_label: str = "x", y_label: str = "y") -> str:
+        rows = list(zip(self.x, self.y))
+        return format_table([x_label, y_label], rows, title=self.name)

@@ -1,0 +1,154 @@
+"""VCD post-processing: locate corruption windows in a waveform dump.
+
+The debugging loop the paper describes is: simulate, open the waveform,
+find where the design misbehaves around the reconfiguration, fix,
+repeat.  This module automates the "find where" step for the most
+important DPR failure signature — X excursions: it parses a VCD file
+(as written by :class:`repro.kernel.vcd.VcdWriter`, or any IEEE-1364
+dump) and reports, per signal, the intervals during which the signal
+carried unknown bits.
+
+>>> scan = VcdScan.load("dump.vcd")
+>>> scan.x_intervals("autovision.isolation.iso_done")
+[(28950000, 31470000)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO, Tuple
+
+__all__ = ["VcdScan", "VcdParseError"]
+
+
+class VcdParseError(ValueError):
+    pass
+
+
+@dataclass
+class _SignalRecord:
+    path: str
+    width: int
+    changes: List[Tuple[int, str]] = field(default_factory=list)
+
+
+class VcdScan:
+    """A parsed VCD: per-signal change lists plus X-interval queries."""
+
+    def __init__(self) -> None:
+        self.signals: Dict[str, _SignalRecord] = {}  # id code -> record
+        self.by_path: Dict[str, _SignalRecord] = {}
+        self.end_time = 0
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "VcdScan":
+        with open(path) as stream:
+            return cls.parse(stream)
+
+    @classmethod
+    def parse(cls, stream: TextIO) -> "VcdScan":
+        scan = cls()
+        scope: List[str] = []
+        time = 0
+        in_header = True
+        for raw in stream:
+            line = raw.strip()
+            if not line:
+                continue
+            if in_header:
+                if line.startswith("$scope"):
+                    parts = line.split()
+                    if len(parts) < 3:
+                        raise VcdParseError(f"bad $scope line: {line!r}")
+                    scope.append(parts[2])
+                elif line.startswith("$upscope"):
+                    if not scope:
+                        raise VcdParseError("$upscope without $scope")
+                    scope.pop()
+                elif line.startswith("$var"):
+                    parts = line.split()
+                    # $var wire <width> <id> <name> $end
+                    if len(parts) < 6:
+                        raise VcdParseError(f"bad $var line: {line!r}")
+                    width, code, name = int(parts[2]), parts[3], parts[4]
+                    path = ".".join(scope + [name])
+                    rec = _SignalRecord(path, width)
+                    scan.signals[code] = rec
+                    scan.by_path[path] = rec
+                elif line.startswith("$enddefinitions"):
+                    in_header = False
+                continue
+            # value-change section
+            if line.startswith("#"):
+                time = int(line[1:])
+                scan.end_time = max(scan.end_time, time)
+            elif line.startswith("$"):
+                continue  # $dumpvars / $end markers
+            elif line[0] in "01xzXZ":
+                code = line[1:]
+                scan._record(code, time, line[0].lower())
+            elif line[0] in "bB":
+                value, _, code = line[1:].partition(" ")
+                scan._record(code.strip(), time, value.lower())
+            else:
+                raise VcdParseError(f"unrecognized VCD line: {line!r}")
+        return scan
+
+    def _record(self, code: str, time: int, value: str) -> None:
+        rec = self.signals.get(code)
+        if rec is None:
+            raise VcdParseError(f"value change for undeclared id {code!r}")
+        rec.changes.append((time, value))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def paths(self) -> List[str]:
+        return sorted(self.by_path)
+
+    def changes(self, path: str) -> List[Tuple[int, str]]:
+        return list(self.by_path[path].changes)
+
+    def x_intervals(self, path: str) -> List[Tuple[int, int]]:
+        """Closed-open time intervals during which ``path`` carried X."""
+        rec = self.by_path[path]
+        intervals: List[Tuple[int, int]] = []
+        x_since: Optional[int] = None
+        for time, value in rec.changes:
+            has_x = "x" in value
+            if has_x and x_since is None:
+                x_since = time
+            elif not has_x and x_since is not None:
+                intervals.append((x_since, time))
+                x_since = None
+        if x_since is not None:
+            intervals.append((x_since, self.end_time))
+        return intervals
+
+    def first_x(self) -> Optional[Tuple[int, str]]:
+        """(time, path) of the earliest X excursion anywhere, if any."""
+        best: Optional[Tuple[int, str]] = None
+        for path in self.by_path:
+            intervals = self.x_intervals(path)
+            if intervals:
+                t = intervals[0][0]
+                if best is None or t < best[0]:
+                    best = (t, path)
+        return best
+
+    def corruption_report(self) -> str:
+        lines = [f"signals: {len(self.by_path)}, end time: {self.end_time} ps"]
+        any_x = False
+        for path in self.paths():
+            intervals = self.x_intervals(path)
+            if intervals:
+                any_x = True
+                spans = ", ".join(f"[{a}..{b})" for a, b in intervals[:4])
+                more = "" if len(intervals) <= 4 else f" +{len(intervals) - 4} more"
+                lines.append(f"  X on {path}: {spans}{more}")
+        if not any_x:
+            lines.append("  no X excursions recorded")
+        return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""SoC interconnect substrate: PLB system bus, DCR daisy chain, interrupts.
+
+The AutoVision Optical Flow Demonstrator (Fig. 1 of the paper) hangs all
+video engines, the reconfiguration controller and main memory off a
+shared **Processor Local Bus (PLB)**, while the software configures
+engine parameters over a **Device Control Register (DCR)** daisy chain.
+Both buses are modeled cycle-accurately because two of the paper's
+Table III bugs live precisely at this layer:
+
+* ``bug.dpr.4`` — the IcapCTRL was integrated in point-to-point mode and
+  fails on a *shared*, arbitrated PLB;
+* the isolation experiment — X injected during reconfiguration breaks
+  the DCR *daisy chain* if the engine registers were left inside the
+  reconfigurable region.
+"""
+
+from .dcr import DcrBus, DcrError, DcrNode, DcrRegisterFile, DcrTimeout
+from .interrupts import InterruptController
+from .memory import PlbMemory
+from .plb import (
+    BusProtocolError,
+    PlbBus,
+    PlbMasterPort,
+    PlbSlave,
+    PlbTransaction,
+)
+
+__all__ = [
+    "DcrBus",
+    "DcrError",
+    "DcrNode",
+    "DcrRegisterFile",
+    "DcrTimeout",
+    "InterruptController",
+    "PlbMemory",
+    "BusProtocolError",
+    "PlbBus",
+    "PlbMasterPort",
+    "PlbSlave",
+    "PlbTransaction",
+]

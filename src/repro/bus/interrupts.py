@@ -1,0 +1,110 @@
+"""Interrupt controller — the ISR backbone of the pipelined flow.
+
+The Optical Flow Demonstrator's processing flow (Fig. 2) is entirely
+interrupt driven: engine-done, reconfiguration-done and frame events
+each raise an interrupt, and the PowerPC ISRs advance the pipeline.
+This controller models a simple INTC: up to 32 level-sensitive request
+inputs, an enable mask, a pending (status) register with write-one-to-
+clear acknowledgement, and a single ``irq`` output to the processor.
+
+Registers (DCR):
+
+========  ======  ====================================================
+offset    name    function
+========  ======  ====================================================
+0         ISR     pending sources (read); write 1s to acknowledge
+1         IER     interrupt enable mask
+2         IVR     lowest set pending+enabled source index (read only)
+========  ======  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..kernel import Edge, RisingEdge, Signal
+from .dcr import DcrRegisterFile
+
+__all__ = ["InterruptController"]
+
+
+class InterruptController(DcrRegisterFile):
+    """Level-sensitive interrupt controller with DCR register interface."""
+
+    MAX_SOURCES = 32
+
+    def __init__(self, name: str, base: int, clock, parent=None):
+        super().__init__(name, base, size=4, parent=parent)
+        self.clock = clock
+        self.irq = self.signal("irq", 1, init=0)
+        self._sources: List[Signal] = []
+        self._source_names: Dict[str, int] = {}
+        self._pending = 0
+        self._enabled = 0
+        self.interrupts_raised = 0
+        #: X values observed on request inputs — evidence that garbage
+        #: from a reconfiguring region escaped into the static logic
+        self.x_violations = 0
+        self.add_register("ISR", 0, on_read=lambda: self._pending,
+                          on_write=self._ack)
+        self.add_register("IER", 1, on_write=self._set_enable)
+        self.add_register("IVR", 2, on_read=self._vector)
+        self.process(self._scan, "scan")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect_source(self, name: str, sig: Signal) -> int:
+        """Attach a 1-bit request line; returns its source index."""
+        if len(self._sources) >= self.MAX_SOURCES:
+            raise ValueError("interrupt controller is full")
+        if name in self._source_names:
+            raise ValueError(f"interrupt source {name!r} already connected")
+        index = len(self._sources)
+        self._sources.append(sig)
+        self._source_names[name] = index
+        return index
+
+    def index_of(self, name: str) -> int:
+        return self._source_names[name]
+
+    # ------------------------------------------------------------------
+    # Register behaviour
+    # ------------------------------------------------------------------
+    def _ack(self, mask: int) -> None:
+        self._pending &= ~mask
+        self.poke("ISR", self._pending)
+
+    def _set_enable(self, mask: int) -> None:
+        self._enabled = mask
+
+    def _vector(self) -> int:
+        active = self._pending & self._enabled
+        if not active:
+            return 0xFFFF_FFFF
+        return (active & -active).bit_length() - 1
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def _scan(self):
+        """Latch request lines into pending and drive irq each cycle."""
+        clk = self.clock.out
+        while True:
+            yield RisingEdge(clk)
+            for i, sig in enumerate(self._sources):
+                v = sig.value
+                if not v.is_defined:
+                    self.x_violations += 1
+                elif v.value & 1:
+                    if not self._pending & (1 << i):
+                        self.interrupts_raised += 1
+                    self._pending |= 1 << i
+            self.poke("ISR", self._pending)
+            want = 1 if (self._pending & self._enabled) else 0
+            if self.irq.value.to_int_or(-1) != want:
+                self.irq.next = want
+
+    @property
+    def pending_mask(self) -> int:
+        return self._pending

@@ -1,0 +1,208 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+``run``        simulate the demonstrator and print the scoreboard verdict
+``bugs``       list the historical bug catalogue, or inject one bug under
+               both simulation methods and report who detects it
+``profile``    the Table II per-stage cost profile of one frame
+``coverage``   DPR functional coverage of a run (resim vs vmux)
+``scenarios``  list the named scenarios
+``timeline``   the Figure 5 development-timeline model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from .analysis import build_timeline, format_table, profile_one_frame
+from .system.scenarios import scenario, scenario_names
+from .verif import BUGS, DprCoverage, run_system
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario", default="tiny", choices=scenario_names(),
+        help="named operating point (default: tiny)",
+    )
+    parser.add_argument(
+        "--method", choices=("resim", "vmux", "dcs"), default=None,
+        help="override the simulation method",
+    )
+    parser.add_argument("--frames", type=int, default=2)
+    parser.add_argument(
+        "--fault", action="append", default=[],
+        help="inject a bug by key (repeatable); see `bugs`",
+    )
+
+
+def _config(args):
+    overrides = {}
+    if args.method:
+        overrides["method"] = args.method
+    if args.fault:
+        overrides["faults"] = frozenset(args.fault)
+    return scenario(args.scenario, **overrides)
+
+
+def _cmd_run(args) -> int:
+    result = run_system(_config(args), n_frames=args.frames)
+    print(result.summary())
+    for a in result.anomalies:
+        print("  !", a)
+    print(
+        f"simulated {result.sim_time_ps / 1e9:.3f} ms in "
+        f"{result.elapsed_s:.2f} s ({result.kernel_events:,} kernel events)"
+    )
+    return 1 if result.detected else 0
+
+
+def _cmd_bugs(args) -> int:
+    if not args.key:
+        rows = [
+            (b.key, b.kind, "+".join(b.expected_detectors), b.week_found, b.title)
+            for b in BUGS.values()
+        ]
+        print(
+            format_table(
+                ["Key", "Kind", "Paper detectors", "Week", "Title"],
+                rows,
+                title="Historical bug catalogue (Table III / Figure 5)",
+            )
+        )
+        return 0
+    bug = BUGS.get(args.key)
+    if bug is None:
+        print(f"unknown bug {args.key!r}", file=sys.stderr)
+        return 2
+    print(f"{bug.key}: {bug.title}\n{bug.description}\n")
+    verdicts = {}
+    for method in ("vmux", "resim"):
+        cfg = scenario(args.scenario, method=method, faults=frozenset({bug.key}))
+        result = run_system(cfg, n_frames=args.frames)
+        verdicts[method] = result.detected
+        status = "DETECTED" if result.detected else "missed"
+        print(f"[{method:5s}] {status}")
+        for a in result.anomalies[:4]:
+            print(f"         {a}")
+    expected = "+".join(bug.expected_detectors)
+    print(f"\npaper's claim: detectable by {expected}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    cfg = replace(_config(args), video_backdoor=True)
+    profile = profile_one_frame(cfg)
+    rows = [
+        (label, round(sim_ms, 4), round(elapsed, 3), events)
+        for label, sim_ms, elapsed, events in profile.rows()
+    ]
+    print(
+        format_table(
+            ["Stage", "Simulated ms", "Elapsed s", "Events"],
+            rows,
+            title=f"Per-stage cost of one frame ({cfg.width}x{cfg.height})",
+        )
+    )
+    return 0 if profile.clean else 1
+
+
+def _cmd_coverage(args) -> int:
+    from .system import AutoVisionSoftware, AutoVisionSystem
+
+    cfg = _config(args)
+    system = AutoVisionSystem(cfg)
+    software = AutoVisionSoftware(system)
+    sim = system.build()
+    cov = DprCoverage(system)
+    cov.start(sim)
+    sim.fork(software.run(args.frames), "software", owner=software)
+    sim.run_until_event(
+        software.run_complete,
+        timeout=600 * cfg.width * cfg.height * system.bus_clock.period * args.frames,
+    )
+    cov.finalize(software)
+    print(cov.report())
+    return 0 if software.finished else 1
+
+
+def _cmd_scenarios(_args) -> int:
+    from .system.scenarios import SCENARIOS
+
+    rows = [
+        (
+            name,
+            c.method,
+            f"{c.width}x{c.height}",
+            c.simb_payload_words,
+            f"{c.cfg_mhz:g} MHz",
+        )
+        for name, c in sorted(SCENARIOS.items())
+    ]
+    print(
+        format_table(
+            ["Scenario", "Method", "Frame", "SimB words", "Cfg clock"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_timeline(_args) -> int:
+    tl = build_timeline()
+    rows = [
+        (w.week, w.phase, w.loc_changed, len(w.bugs_found),
+         ", ".join(w.bugs_found) or "-")
+        for w in tl.weeks
+    ]
+    print(
+        format_table(
+            ["Week", "Phase", "LOC", "Bugs", "Which"],
+            rows,
+            title="Development timeline model (Figure 5)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoVision / ReSim dynamic-reconfiguration simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate the demonstrator")
+    _add_common(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_bugs = sub.add_parser("bugs", help="list or inject historical bugs")
+    _add_common(p_bugs)
+    p_bugs.add_argument("key", nargs="?", help="bug key to inject")
+    p_bugs.set_defaults(func=_cmd_bugs)
+
+    p_prof = sub.add_parser("profile", help="Table II per-stage profile")
+    _add_common(p_prof)
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_cov = sub.add_parser("coverage", help="DPR functional coverage")
+    _add_common(p_cov)
+    p_cov.set_defaults(func=_cmd_coverage)
+
+    p_sc = sub.add_parser("scenarios", help="list named scenarios")
+    p_sc.set_defaults(func=_cmd_scenarios)
+
+    p_tl = sub.add_parser("timeline", help="Figure 5 timeline model")
+    p_tl.set_defaults(func=_cmd_timeline)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

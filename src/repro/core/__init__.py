@@ -1,0 +1,30 @@
+"""The ReSim-style user-facing library (the paper's methodology, as an API).
+
+ReSim's flow is: describe the reconfigurable regions and the modules
+that can occupy them, then *generate* the simulation-only artifacts
+(ICAP, Extended Portals, error injectors) and instantiate them in the
+testbench — without touching the user design.  The original library
+drives a Tcl generator; this package is the Python equivalent:
+
+>>> spec = RegionSpec(rr_id=0x1, name="video_rr", modules=[
+...     ModuleSpec(0x1, "cie"), ModuleSpec(0x2, "me")])
+>>> builder = ResimBuilder()
+>>> builder.add_region(spec, slot)
+>>> artifacts = builder.build(parent=testbench_top)
+>>> words = artifacts.simb_for("video_rr", "me", payload_words=4096)
+
+The artifacts reference only the RR *slot* boundary, so adding them
+changes neither the design's reconfiguration machinery nor its software
+— the property that lets ReSim "verify the real design intent" (§IV-B).
+"""
+
+from .region import ModuleSpec, RegionSpec
+from .library import ResimArtifacts, ResimBuilder, ResimError
+
+__all__ = [
+    "ModuleSpec",
+    "RegionSpec",
+    "ResimArtifacts",
+    "ResimBuilder",
+    "ResimError",
+]

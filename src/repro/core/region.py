@@ -1,0 +1,63 @@
+"""Declarative description of reconfigurable regions and their modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["ModuleSpec", "RegionSpec"]
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One reconfigurable module that can occupy a region."""
+
+    module_id: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.module_id <= 0xFF:
+            raise ValueError(f"module id {self.module_id:#x} must fit in 8 bits")
+        if not self.name:
+            raise ValueError("module name must be non-empty")
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One reconfigurable region and the set of modules it accepts."""
+
+    rr_id: int
+    name: str
+    modules: Tuple[ModuleSpec, ...]
+
+    def __init__(self, rr_id: int, name: str, modules):
+        if not 0 <= rr_id <= 0xFF:
+            raise ValueError(f"region id {rr_id:#x} must fit in 8 bits")
+        if not name:
+            raise ValueError("region name must be non-empty")
+        modules = tuple(modules)
+        if not modules:
+            raise ValueError(f"region {name!r} needs at least one module")
+        ids = [m.module_id for m in modules]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate module ids in region {name!r}")
+        names = [m.name for m in modules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate module names in region {name!r}")
+        object.__setattr__(self, "rr_id", rr_id)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "modules", modules)
+
+    def module_by_name(self, name: str) -> ModuleSpec:
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(f"no module named {name!r} in region {self.name!r}")
+
+    def module_by_id(self, module_id: int) -> ModuleSpec:
+        for m in self.modules:
+            if m.module_id == module_id:
+                return m
+        raise KeyError(
+            f"no module with id {module_id:#x} in region {self.name!r}"
+        )

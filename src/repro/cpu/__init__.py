@@ -1,0 +1,35 @@
+"""PPC-lite: the embedded-processor substrate (ISS + assembler).
+
+The paper replaces the PowerPC 405 netlist with IBM's instruction-set
+simulator so "the software could run as if it were running on a real
+processor" (§IV).  This package is the equivalent one level down: a
+from-scratch 32-bit PowerPC-flavoured RISC —
+
+* :mod:`~repro.cpu.isa` — encodings: D-form ALU/load/store, R-form ALU,
+  branches with CR0/CTR, ``mtdcr``/``mfdcr``, and a system group
+  (``wait``/``rfi``/``wrteei``/``sc``),
+* :mod:`~repro.cpu.assembler` — a two-pass assembler with labels,
+  ``.org``/``.word``/``.equ`` directives and ``li``/``la``/``mr``
+  pseudo-ops,
+* :mod:`~repro.cpu.iss` — the cycle-counting instruction-set simulator:
+  one instruction per bus-clock cycle, loads/stores through the
+  cycle-accurate PLB, DCR ops around the daisy chain, plus external
+  interrupts with PowerPC ``SRR0/SRR1`` save/restore semantics,
+* :mod:`~repro.cpu.firmware` — the demonstrator's control program in
+  PPC-lite assembly (the ISS counterpart of the HAL software model).
+"""
+
+from .assembler import AssemblerError, assemble, disassemble
+from .isa import Instruction, decode, encode
+from .iss import IssFatalError, PpcLiteIss
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "disassemble",
+    "Instruction",
+    "decode",
+    "encode",
+    "IssFatalError",
+    "PpcLiteIss",
+]

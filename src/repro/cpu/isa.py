@@ -1,0 +1,252 @@
+"""PPC-lite instruction-set architecture: formats, encode, decode.
+
+A 32-bit RISC with PowerPC flavour, reduced to what the AutoVision
+control software needs.  Three instruction formats:
+
+``D-form``  ``[31:26 op][25:21 rD][20:16 rA][15:0 imm]``
+    immediate ALU ops, loads/stores, DCR moves, compares, conditional
+    branches (imm is a signed *word* offset for branches),
+``I-form``  ``[31:26 op][25:0 li]``
+    unconditional branches (signed word offset) and the system group,
+``R-form``  ``[31:26 op=0x18][25:21 rD][20:16 rA][15:11 rB][10:0 funct]``
+    register-register ALU and special-register moves.
+
+Branches and compares use a single condition register ``CR0`` holding
+LT/GT/EQ, plus the CTR counter for ``bdnz`` loops — the subset of
+PowerPC semantics the firmware uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "Instruction",
+    "encode",
+    "decode",
+    "OPCODES",
+    "R_FUNCTS",
+    "SYS_FUNCTS",
+    "BRANCH_CONDS",
+]
+
+WORD_MASK = 0xFFFF_FFFF
+
+# major opcodes
+OP_ADDI = 0x01
+OP_ADDIS = 0x02
+OP_ORI = 0x03
+OP_ANDI = 0x04
+OP_XORI = 0x05
+OP_LWZ = 0x08
+OP_STW = 0x09
+OP_MFDCR = 0x0C
+OP_MTDCR = 0x0D
+OP_B = 0x10
+OP_BL = 0x11
+OP_BC = 0x12
+OP_R = 0x18
+OP_CMPWI = 0x19
+OP_CMPLWI = 0x1A
+OP_SYS = 0x1F
+
+OPCODES: Dict[str, int] = {
+    "addi": OP_ADDI,
+    "addis": OP_ADDIS,
+    "ori": OP_ORI,
+    "andi": OP_ANDI,
+    "xori": OP_XORI,
+    "lwz": OP_LWZ,
+    "stw": OP_STW,
+    "mfdcr": OP_MFDCR,
+    "mtdcr": OP_MTDCR,
+    "b": OP_B,
+    "bl": OP_BL,
+    "bc": OP_BC,
+    "cmpwi": OP_CMPWI,
+    "cmplwi": OP_CMPLWI,
+}
+
+# R-form functs
+R_FUNCTS: Dict[str, int] = {
+    "add": 0,
+    "sub": 1,
+    "and": 2,
+    "or": 3,
+    "xor": 4,
+    "slw": 5,
+    "srw": 6,
+    "sraw": 7,
+    "mullw": 8,
+    "divwu": 9,
+    "cmpw": 10,
+    "cmplw": 11,
+    "mtlr": 12,
+    "mflr": 13,
+    "mtctr": 14,
+    "mfctr": 15,
+}
+
+# system-group functs (I-form low bits)
+SYS_FUNCTS: Dict[str, int] = {
+    "nop": 0,
+    "blr": 1,
+    "rfi": 2,
+    "wait": 3,
+    "wrteei0": 4,
+    "wrteei1": 5,
+    "sync": 6,
+    "sc": 7,
+    "halt": 8,
+}
+
+# bc condition codes (rD field)
+BRANCH_CONDS: Dict[str, int] = {
+    "always": 0,
+    "eq": 1,
+    "ne": 2,
+    "lt": 3,
+    "ge": 4,
+    "gt": 5,
+    "le": 6,
+    "ctrnz": 7,  # decrement CTR, branch if non-zero (bdnz)
+}
+
+_R_FUNCT_NAMES = {v: k for k, v in R_FUNCTS.items()}
+_SYS_FUNCT_NAMES = {v: k for k, v in SYS_FUNCTS.items()}
+_COND_NAMES = {v: k for k, v in BRANCH_CONDS.items()}
+_OPCODE_NAMES = {v: k for k, v in OPCODES.items()}
+
+
+def _signed16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def _signed26(value: int) -> int:
+    value &= 0x3FF_FFFF
+    return value - 0x400_0000 if value & 0x200_0000 else value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded PPC-lite instruction."""
+
+    mnemonic: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0  # sign- or zero-extended per the mnemonic
+    cond: Optional[str] = None
+
+    def __str__(self) -> str:
+        m = self.mnemonic
+        if m in ("lwz", "stw"):
+            return f"{m} r{self.rd}, {self.imm}(r{self.ra})"
+        if m in ("addi", "addis", "ori", "andi", "xori"):
+            return f"{m} r{self.rd}, r{self.ra}, {self.imm}"
+        if m in ("mfdcr", "mtdcr"):
+            return f"{m} r{self.rd}, {self.imm:#x}"
+        if m in ("b", "bl"):
+            return f"{m} {self.imm}"
+        if m == "bc":
+            return f"bc {self.cond}, {self.imm}"
+        if m in ("cmpwi", "cmplwi"):
+            return f"{m} r{self.ra}, {self.imm}"
+        if m in ("mtlr", "mtctr"):
+            return f"{m} r{self.ra}"
+        if m in ("mflr", "mfctr"):
+            return f"{m} r{self.rd}"
+        if m in ("cmpw", "cmplw"):
+            return f"{m} r{self.ra}, r{self.rb}"
+        if m in R_FUNCTS:
+            return f"{m} r{self.rd}, r{self.ra}, r{self.rb}"
+        return m
+
+
+def _check_reg(value: int, what: str) -> None:
+    if not 0 <= value <= 31:
+        raise ValueError(f"{what} r{value} out of range")
+
+
+def encode(inst: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    m = inst.mnemonic
+    _check_reg(inst.rd, "rD")
+    _check_reg(inst.ra, "rA")
+    _check_reg(inst.rb, "rB")
+
+    if m in ("addi", "addis", "lwz", "stw", "cmpwi"):
+        if not -0x8000 <= inst.imm <= 0x7FFF:
+            raise ValueError(f"{m}: signed immediate {inst.imm} out of range")
+        imm = inst.imm & 0xFFFF
+    elif m in ("ori", "andi", "xori", "cmplwi", "mfdcr", "mtdcr"):
+        if not 0 <= inst.imm <= 0xFFFF:
+            raise ValueError(f"{m}: unsigned immediate {inst.imm} out of range")
+        imm = inst.imm
+    elif m in ("b", "bl"):
+        if not -0x200_0000 <= inst.imm <= 0x1FF_FFFF:
+            raise ValueError(f"{m}: branch offset {inst.imm} out of range")
+        return (OPCODES[m] << 26) | (inst.imm & 0x3FF_FFFF)
+    elif m == "bc":
+        if inst.cond not in BRANCH_CONDS:
+            raise ValueError(f"bc: unknown condition {inst.cond!r}")
+        if not -0x8000 <= inst.imm <= 0x7FFF:
+            raise ValueError(f"bc: branch offset {inst.imm} out of range")
+        return (
+            (OP_BC << 26)
+            | (BRANCH_CONDS[inst.cond] << 21)
+            | (inst.imm & 0xFFFF)
+        )
+    elif m in R_FUNCTS:
+        return (
+            (OP_R << 26)
+            | (inst.rd << 21)
+            | (inst.ra << 16)
+            | (inst.rb << 11)
+            | R_FUNCTS[m]
+        )
+    elif m in SYS_FUNCTS:
+        return (OP_SYS << 26) | SYS_FUNCTS[m]
+    else:
+        raise ValueError(f"unknown mnemonic {m!r}")
+
+    op = OPCODES[m]
+    return (op << 26) | (inst.rd << 21) | (inst.ra << 16) | imm
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word; raises ValueError on illegal encodings."""
+    word &= WORD_MASK
+    op = word >> 26
+    rd = (word >> 21) & 0x1F
+    ra = (word >> 16) & 0x1F
+    rb = (word >> 11) & 0x1F
+    imm16 = word & 0xFFFF
+
+    if op in (OP_B, OP_BL):
+        return Instruction("b" if op == OP_B else "bl", imm=_signed26(word))
+    if op == OP_BC:
+        cond = _COND_NAMES.get(rd)
+        if cond is None:
+            raise ValueError(f"illegal bc condition {rd} in {word:#010x}")
+        return Instruction("bc", imm=_signed16(word), cond=cond)
+    if op == OP_SYS:
+        funct = word & 0x3FF_FFFF
+        name = _SYS_FUNCT_NAMES.get(funct)
+        if name is None:
+            raise ValueError(f"illegal system funct {funct:#x} in {word:#010x}")
+        return Instruction(name)
+    if op == OP_R:
+        funct = word & 0x7FF
+        name = _R_FUNCT_NAMES.get(funct)
+        if name is None:
+            raise ValueError(f"illegal R funct {funct:#x} in {word:#010x}")
+        return Instruction(name, rd=rd, ra=ra, rb=rb)
+    name = _OPCODE_NAMES.get(op)
+    if name is None or name in ("b", "bl", "bc"):
+        raise ValueError(f"illegal opcode {op:#x} in {word:#010x}")
+    if name in ("addi", "addis", "lwz", "stw", "cmpwi"):
+        return Instruction(name, rd=rd, ra=ra, imm=_signed16(word))
+    return Instruction(name, rd=rd, ra=ra, imm=imm16)

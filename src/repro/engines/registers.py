@@ -1,0 +1,102 @@
+"""Externalized engine parameter registers (static region).
+
+In the original AutoVision design each engine carried its own DCR
+registers; the re-integrated demonstrator moved them *outside* the
+reconfigurable region so that reconfiguring an engine does not break the
+DCR daisy chain (§III).  This block is that external register file: it
+is a permanent DCR node in the static region, shared by whichever
+engine currently occupies the RR.
+
+Register map (offsets):
+
+=======  ========  =====================================================
+offset   name      function
+=======  ========  =====================================================
+0        CTRL      bit0 = start pulse, bit1 = reset pulse
+1        STATUS    bit0 = done, bit1 = busy, bit2 = error (read)
+2        SRC1      PLB byte address of the primary input buffer
+3        SRC2      PLB byte address of the secondary input (ME only)
+4        DST       PLB byte address of the output buffer
+5        WIDTH     frame width in pixels
+6        HEIGHT    frame height in pixels
+7        RADIUS    ME search radius
+=======  ========  =====================================================
+
+``start``/``reset`` writes are forwarded to the RR slot via callbacks
+that the slot registers at construction — if no engine is present (the
+region is mid-reconfiguration) the pulse is **lost**, which is the
+physical mechanism behind Table III's ``bug.dpr.6b``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..bus.dcr import DcrRegisterFile
+
+__all__ = ["EngineRegs"]
+
+CTRL_START = 0b01
+CTRL_RESET = 0b10
+STATUS_DONE = 0b001
+STATUS_BUSY = 0b010
+STATUS_ERROR = 0b100
+
+
+class EngineRegs(DcrRegisterFile):
+    """The static-region DCR register block shared by the engines."""
+
+    def __init__(self, name: str, base: int, parent=None):
+        super().__init__(name, base, size=16, parent=parent)
+        self._start_listeners: List[Callable[[], None]] = []
+        self._reset_listeners: List[Callable[[], None]] = []
+        self.add_register("CTRL", 0, on_write=self._on_ctrl)
+        self.add_register("STATUS", 1)
+        self.add_register("SRC1", 2)
+        self.add_register("SRC2", 3)
+        self.add_register("DST", 4)
+        self.add_register("WIDTH", 5)
+        self.add_register("HEIGHT", 6)
+        self.add_register("RADIUS", 7, init=2)
+
+    # ------------------------------------------------------------------
+    # Slot wiring
+    # ------------------------------------------------------------------
+    def on_start(self, callback: Callable[[], None]) -> None:
+        self._start_listeners.append(callback)
+
+    def on_reset(self, callback: Callable[[], None]) -> None:
+        self._reset_listeners.append(callback)
+
+    def _on_ctrl(self, value: int) -> None:
+        # CTRL is a pulse register: it self-clears
+        self.poke("CTRL", 0)
+        if value & CTRL_RESET:
+            for cb in self._reset_listeners:
+                cb()
+        if value & CTRL_START:
+            for cb in self._start_listeners:
+                cb()
+
+    # ------------------------------------------------------------------
+    # Status helpers (used by the engine currently in the RR)
+    # ------------------------------------------------------------------
+    def set_status(self, done: bool, busy: bool, error: bool) -> None:
+        self.poke(
+            "STATUS",
+            (STATUS_DONE if done else 0)
+            | (STATUS_BUSY if busy else 0)
+            | (STATUS_ERROR if error else 0),
+        )
+
+    @property
+    def status_done(self) -> bool:
+        return bool(self.peek("STATUS") & STATUS_DONE)
+
+    @property
+    def status_error(self) -> bool:
+        return bool(self.peek("STATUS") & STATUS_ERROR)
+
+    @property
+    def status_busy(self) -> bool:
+        return bool(self.peek("STATUS") & STATUS_BUSY)

@@ -1,0 +1,74 @@
+"""Clock generation.
+
+The AutoVision case study is explicitly sensitive to clocking: the
+"engine reset" bug (bug.dpr.6b in Table III) was introduced when the
+re-integrated design moved to a *slower configuration clock*, which
+stretched bitstream transfer past the software's reset timing.  Clock
+domains are therefore first-class here: each :class:`Clock` has its own
+period, and modules keep an explicit reference to the clock they run on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .events import Timer
+from .module import Module
+from .signal import Signal
+
+__all__ = ["Clock", "MHz"]
+
+
+def MHz(freq: float) -> int:
+    """Clock period in picoseconds for a frequency in MHz."""
+    return round(1_000_000 / freq)
+
+
+class Clock(Module):
+    """A free-running clock driving a 1-bit signal.
+
+    Parameters
+    ----------
+    period:
+        Full period in picoseconds (use :func:`MHz` for convenience).
+    start_high:
+        Phase of the first half-period.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        period: int,
+        parent: Optional[Module] = None,
+        start_high: bool = False,
+    ):
+        super().__init__(name, parent)
+        if period < 2:
+            raise ValueError(f"clock period must be >= 2ps, got {period}")
+        self.period = int(period)
+        self.half = self.period // 2
+        self.other_half = self.period - self.half
+        self.out: Signal = self.signal("clk", 1, init=1 if start_high else 0)
+        self.cycles = 0
+        self._start_high = start_high
+        self.process(self._toggle, "toggle")
+
+    @property
+    def frequency_mhz(self) -> float:
+        return 1_000_000 / self.period
+
+    def cycles_to_time(self, cycles: int) -> int:
+        """Simulated picoseconds covered by ``cycles`` clock cycles."""
+        return cycles * self.period
+
+    def _toggle(self):
+        high = self._start_high
+        halves = (self.half, self.other_half) if high else (self.other_half, self.half)
+        out = self.out
+        first, second = halves
+        while True:
+            yield Timer(first)
+            out.next = 0 if high else 1
+            yield Timer(second)
+            out.next = 1 if high else 0
+            self.cycles += 1

@@ -1,0 +1,406 @@
+"""Four-state logic values for RTL simulation.
+
+RTL simulation of dynamic partial reconfiguration requires four-state
+logic: during reconfiguration, the ReSim-style error injector drives
+``X`` (unknown) onto every output of the reconfigurable region, and the
+testbench must observe whether those ``X`` values corrupt the static
+region (e.g. break the DCR daisy chain).  Two-state simulation cannot
+express that experiment at all, which is why the kernel is four-state
+from the ground up.
+
+A :class:`LogicVector` is an immutable fixed-width bundle of bits, each
+of which is ``0``, ``1``, ``X`` (unknown) or ``Z`` (high impedance).
+The representation is three parallel integers:
+
+``value``
+    the defined bit pattern (bits that are X or Z read as 0 here),
+``xmask``
+    bit set where the corresponding bit is ``X``,
+``zmask``
+    bit set where the corresponding bit is ``Z``.
+
+``xmask & zmask == 0`` always holds.  Arithmetic and comparison
+operators contaminate their result with ``X`` whenever any operand bit
+is unknown, matching conventional HDL semantics.  Bitwise operators use
+the standard pessimistic truth tables (``0 & X == 0``, ``1 | X == 1``,
+otherwise ``X``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = [
+    "LogicVector",
+    "LV",
+    "bit",
+    "xbits",
+    "zbits",
+    "concat",
+    "replicate",
+]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+class LogicVector:
+    """An immutable ``width``-bit four-state logic value."""
+
+    __slots__ = ("width", "value", "xmask", "zmask")
+
+    def __init__(self, width: int, value: int = 0, xmask: int = 0, zmask: int = 0):
+        if width <= 0:
+            raise ValueError(f"LogicVector width must be positive, got {width}")
+        m = _mask(width)
+        value &= m
+        xmask &= m
+        zmask &= m
+        if xmask & zmask:
+            raise ValueError("a bit cannot be both X and Z")
+        # Undefined bits read as 0 in `value` so equality is canonical.
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "value", value & ~(xmask | zmask) & m)
+        object.__setattr__(self, "xmask", xmask)
+        object.__setattr__(self, "zmask", zmask)
+
+    def __setattr__(self, name, _value):  # pragma: no cover - defensive
+        raise AttributeError("LogicVector is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "LogicVector":
+        """Build a fully-defined vector from a non-negative integer."""
+        if value < 0:
+            value &= _mask(width)
+        if value >> width:
+            raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        return cls(width, value)
+
+    @classmethod
+    def unknown(cls, width: int) -> "LogicVector":
+        """All bits ``X`` — the reset/error-injection value."""
+        return cls(width, 0, _mask(width), 0)
+
+    @classmethod
+    def high_z(cls, width: int) -> "LogicVector":
+        """All bits ``Z`` — an undriven bus."""
+        return cls(width, 0, 0, _mask(width))
+
+    @classmethod
+    def from_string(cls, text: str) -> "LogicVector":
+        """Parse a Verilog-style bit string, MSB first (``"1x0z"``)."""
+        text = text.replace("_", "")
+        if not text:
+            raise ValueError("empty logic string")
+        value = xmask = zmask = 0
+        for ch in text:
+            value <<= 1
+            xmask <<= 1
+            zmask <<= 1
+            if ch in "01":
+                value |= int(ch)
+            elif ch in "xX":
+                xmask |= 1
+            elif ch in "zZ":
+                zmask |= 1
+            else:
+                raise ValueError(f"invalid logic character {ch!r}")
+        return cls(len(text), value, xmask, zmask)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def is_defined(self) -> bool:
+        """True when no bit is ``X`` or ``Z``."""
+        return not (self.xmask | self.zmask)
+
+    @property
+    def has_x(self) -> bool:
+        return bool(self.xmask)
+
+    @property
+    def has_z(self) -> bool:
+        return bool(self.zmask)
+
+    def to_int(self) -> int:
+        """The integer value; raises if any bit is undefined."""
+        if not self.is_defined:
+            raise ValueError(f"cannot convert {self!r} with X/Z bits to int")
+        return self.value
+
+    def to_int_or(self, default: int) -> int:
+        return self.value if self.is_defined else default
+
+    def bit_char(self, i: int) -> str:
+        if not 0 <= i < self.width:
+            raise IndexError(f"bit {i} out of range for width {self.width}")
+        b = 1 << i
+        if self.xmask & b:
+            return "x"
+        if self.zmask & b:
+            return "z"
+        return "1" if self.value & b else "0"
+
+    def to_string(self) -> str:
+        """MSB-first bit string, e.g. ``"10xz"``."""
+        return "".join(self.bit_char(i) for i in range(self.width - 1, -1, -1))
+
+    def __repr__(self) -> str:
+        if self.is_defined:
+            return f"LV({self.width}'h{self.value:x})"
+        return f"LV({self.width}'b{self.to_string()})"
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.value, self.xmask, self.zmask))
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __bool__(self) -> bool:
+        """True iff the vector is defined and non-zero.
+
+        An X-contaminated vector is *not* truthy; use :meth:`has_x` to
+        check for contamination explicitly.
+        """
+        return self.is_defined and self.value != 0
+
+    # ------------------------------------------------------------------
+    # Equality
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Exact (case-equality, ``===``) comparison; X==X, Z==Z."""
+        other = _coerce(other, self.width, strict=False)
+        if other is NotImplemented:
+            return NotImplemented
+        return (
+            self.width == other.width
+            and self.value == other.value
+            and self.xmask == other.xmask
+            and self.zmask == other.zmask
+        )
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def logic_eq(self, other: "LogicValue") -> "LogicVector":
+        """HDL ``==``: 1-bit result, X if either side has unknowns."""
+        other = _coerce(other, self.width)
+        if not (self.is_defined and other.is_defined):
+            return LogicVector.unknown(1)
+        return LogicVector(1, int(self.value == other.value and self.width == other.width))
+
+    # ------------------------------------------------------------------
+    # Slicing / concatenation
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: Union[int, slice]) -> "LogicVector":
+        if isinstance(key, int):
+            if key < 0:
+                key += self.width
+            if not 0 <= key < self.width:
+                raise IndexError(f"bit {key} out of range for width {self.width}")
+            return LogicVector(
+                1,
+                (self.value >> key) & 1,
+                (self.xmask >> key) & 1,
+                (self.zmask >> key) & 1,
+            )
+        if isinstance(key, slice):
+            if key.step not in (None, 1):
+                raise ValueError("LogicVector slices must be contiguous")
+            start, stop, _ = key.indices(self.width)
+            width = stop - start
+            if width <= 0:
+                raise ValueError(f"empty slice [{key.start}:{key.stop}]")
+            return LogicVector(
+                width,
+                self.value >> start,
+                self.xmask >> start,
+                self.zmask >> start,
+            )
+        raise TypeError(f"invalid index {key!r}")
+
+    def replace_bits(self, lo: int, part: "LogicVector") -> "LogicVector":
+        """Return a copy with ``part`` written at bit offset ``lo``."""
+        if lo < 0 or lo + part.width > self.width:
+            raise ValueError(
+                f"slice [{lo}+:{part.width}] out of range for width {self.width}"
+            )
+        hole = ~(_mask(part.width) << lo)
+        return LogicVector(
+            self.width,
+            (self.value & hole) | (part.value << lo),
+            (self.xmask & hole) | (part.xmask << lo),
+            (self.zmask & hole) | (part.zmask << lo),
+        )
+
+    def resize(self, width: int) -> "LogicVector":
+        """Zero-extend or truncate to ``width`` bits."""
+        if width == self.width:
+            return self
+        return LogicVector(width, self.value, self.xmask, self.zmask)
+
+    # ------------------------------------------------------------------
+    # Bitwise operators (pessimistic X semantics; Z treated as X)
+    # ------------------------------------------------------------------
+    def _unknown_bits(self) -> int:
+        return self.xmask | self.zmask
+
+    def __and__(self, other: "LogicValue") -> "LogicVector":
+        other = _coerce(other, self.width)
+        w = max(self.width, other.width)
+        a_unk, b_unk = self._unknown_bits(), other._unknown_bits()
+        # result bit is 0 where either operand is a definite 0
+        def0 = (~self.value & ~a_unk) | (~other.value & ~b_unk)
+        x = (a_unk | b_unk) & ~def0
+        return LogicVector(w, self.value & other.value, x & _mask(w))
+
+    def __or__(self, other: "LogicValue") -> "LogicVector":
+        other = _coerce(other, self.width)
+        w = max(self.width, other.width)
+        a_unk, b_unk = self._unknown_bits(), other._unknown_bits()
+        def1 = self.value | other.value  # definite 1s (value bits are never X/Z)
+        x = (a_unk | b_unk) & ~def1
+        return LogicVector(w, def1, x & _mask(w))
+
+    def __xor__(self, other: "LogicValue") -> "LogicVector":
+        other = _coerce(other, self.width)
+        w = max(self.width, other.width)
+        x = self._unknown_bits() | other._unknown_bits()
+        return LogicVector(w, (self.value ^ other.value) & ~x, x & _mask(w))
+
+    def __invert__(self) -> "LogicVector":
+        x = self._unknown_bits()
+        return LogicVector(self.width, ~self.value & ~x, x)
+
+    __rand__ = __and__
+    __ror__ = __or__
+    __rxor__ = __xor__
+
+    def __lshift__(self, n: int) -> "LogicVector":
+        return LogicVector(self.width, self.value << n, self.xmask << n, self.zmask << n)
+
+    def __rshift__(self, n: int) -> "LogicVector":
+        return LogicVector(self.width, self.value >> n, self.xmask >> n, self.zmask >> n)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (X-contaminating)
+    # ------------------------------------------------------------------
+    def _arith(self, other: "LogicValue", op) -> "LogicVector":
+        other = _coerce(other, self.width)
+        w = max(self.width, other.width)
+        if not (self.is_defined and other.is_defined):
+            return LogicVector.unknown(w)
+        return LogicVector(w, op(self.value, other.value) & _mask(w))
+
+    def __add__(self, other: "LogicValue") -> "LogicVector":
+        return self._arith(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "LogicValue") -> "LogicVector":
+        return self._arith(other, lambda a, b: a - b)
+
+    __radd__ = __add__
+
+    def reduce_or(self) -> "LogicVector":
+        if self.value:
+            return LogicVector(1, 1)
+        if self._unknown_bits():
+            return LogicVector.unknown(1)
+        return LogicVector(1, 0)
+
+    def reduce_and(self) -> "LogicVector":
+        m = _mask(self.width)
+        if self.value == m:
+            return LogicVector(1, 1)
+        # any definite 0 bit forces 0
+        if (~self.value & ~self._unknown_bits()) & m:
+            return LogicVector(1, 0)
+        return LogicVector.unknown(1)
+
+    def reduce_xor(self) -> "LogicVector":
+        if self._unknown_bits():
+            return LogicVector.unknown(1)
+        return LogicVector(1, bin(self.value).count("1") & 1)
+
+    # ------------------------------------------------------------------
+    # Tri-state resolution (multiple drivers onto one net)
+    # ------------------------------------------------------------------
+    def resolve(self, other: "LogicVector") -> "LogicVector":
+        """Resolve two drivers bit-by-bit: Z yields to the other driver;
+        conflicting defined bits and any X produce X."""
+        if self.width != other.width:
+            raise ValueError("cannot resolve drivers of different widths")
+        a_z, b_z = self.zmask, other.zmask
+        both = ~(a_z | b_z) & _mask(self.width)
+        conflict = both & (
+            (self.value ^ other.value) | self.xmask | other.xmask
+        )
+        value = (self.value & ~a_z) | (other.value & ~b_z)
+        zmask = a_z & b_z
+        xmask = (conflict | (self.xmask & b_z) | (other.xmask & a_z)) & ~zmask
+        return LogicVector(self.width, value & ~xmask, xmask, zmask)
+
+
+LogicValue = Union[LogicVector, int]
+
+
+def _coerce(value: object, width: int, strict: bool = True):
+    if isinstance(value, LogicVector):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        w = max(width, value.bit_length() or 1)
+        return LogicVector(w, value & _mask(w))
+    if isinstance(value, bool):
+        return LogicVector(1, int(value))
+    if strict:
+        raise TypeError(f"cannot interpret {value!r} as a logic value")
+    return NotImplemented
+
+
+def LV(value: Union[int, str], width: int | None = None) -> LogicVector:
+    """Convenience constructor: ``LV(5, 8)`` or ``LV("1x0z")``."""
+    if isinstance(value, str):
+        if width is not None:
+            raise ValueError("width is implied by the string length")
+        return LogicVector.from_string(value)
+    if width is None:
+        width = max(value.bit_length(), 1)
+    return LogicVector.from_int(value, width)
+
+
+def bit(value: int) -> LogicVector:
+    """A single defined bit."""
+    return LogicVector(1, value & 1)
+
+
+def xbits(width: int) -> LogicVector:
+    return LogicVector.unknown(width)
+
+
+def zbits(width: int) -> LogicVector:
+    return LogicVector.high_z(width)
+
+
+def concat(*parts: LogicVector) -> LogicVector:
+    """Concatenate MSB-first (Verilog ``{a, b, c}`` order)."""
+    if not parts:
+        raise ValueError("concat of no parts")
+    value = xmask = zmask = 0
+    width = 0
+    for p in parts:
+        value = (value << p.width) | p.value
+        xmask = (xmask << p.width) | p.xmask
+        zmask = (zmask << p.width) | p.zmask
+        width += p.width
+    return LogicVector(width, value, xmask, zmask)
+
+
+def replicate(part: LogicVector, count: int) -> LogicVector:
+    if count <= 0:
+        raise ValueError("replicate count must be positive")
+    return concat(*([part] * count))

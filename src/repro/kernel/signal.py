@@ -1,0 +1,177 @@
+"""Signals — the state elements of the simulated design.
+
+A :class:`Signal` holds a four-state :class:`~repro.kernel.logic.LogicVector`
+and follows HDL non-blocking-assignment semantics: writes performed during
+the evaluation phase of a delta cycle (``sig.next = v``) take effect in the
+following update phase, at which point edge triggers fire and sensitive
+processes are scheduled for the next delta.
+
+Value-change counts are accumulated per signal and rolled up per owning
+module by the simulator's activity accounting — that is how the Table II
+"elapsed time tracks signal activity" experiment is measured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .logic import LogicVector
+
+__all__ = ["Signal", "SignalWriteError"]
+
+_BIT0 = LogicVector(1, 0)
+_BIT1 = LogicVector(1, 1)
+
+
+class SignalWriteError(RuntimeError):
+    pass
+
+
+def _coerce_value(value: Union[LogicVector, int, bool], width: int) -> LogicVector:
+    if isinstance(value, LogicVector):
+        if value.width != width:
+            if value.width < width or not (
+                (value.value | value.xmask | value.zmask) >> width
+            ):
+                return value.resize(width)
+            raise SignalWriteError(
+                f"value of width {value.width} does not fit signal of width {width}"
+            )
+        return value
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        if width == 1:
+            if value == 0:
+                return _BIT0
+            if value == 1:
+                return _BIT1
+        if value < 0:
+            value &= (1 << width) - 1
+        if value >> width:
+            raise SignalWriteError(f"value {value:#x} does not fit in {width} bits")
+        return LogicVector(width, value)
+    raise TypeError(f"cannot drive signal with {value!r}")
+
+
+class Signal:
+    """A named, traced, four-state signal with non-blocking updates."""
+
+    __slots__ = (
+        "name",
+        "width",
+        "_value",
+        "_sim",
+        "owner",
+        "_edge_waiters",
+        "change_count",
+        "_vcd_id",
+        "_pending",
+        "_monitors",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        width: int = 1,
+        init: Union[LogicVector, int, None] = None,
+        owner=None,
+    ):
+        self.name = name
+        self.width = width
+        if init is None:
+            self._value = LogicVector.unknown(width)
+        else:
+            self._value = _coerce_value(init, width)
+        self._sim = None
+        self.owner = owner
+        # edge kind -> set of primed Edge triggers
+        self._edge_waiters = {"any": set(), "rise": set(), "fall": set()}
+        self.change_count = 0
+        self._vcd_id: Optional[str] = None
+        self._pending = False
+        self._monitors = None  # lazily created list of callbacks
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> LogicVector:
+        return self._value
+
+    def to_int(self) -> int:
+        return self._value.to_int()
+
+    def to_int_or(self, default: int) -> int:
+        return self._value.to_int_or(default)
+
+    @property
+    def is_high(self) -> bool:
+        return self._value.is_defined and self._value.value == 1 and self.width == 1
+
+    @property
+    def is_low(self) -> bool:
+        return self._value.is_defined and self._value.value == 0
+
+    @property
+    def has_x(self) -> bool:
+        return self._value.has_x
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @property
+    def next(self):
+        raise AttributeError("signal.next is write-only; read signal.value")
+
+    @next.setter
+    def next(self, value: Union[LogicVector, int, bool]) -> None:
+        """Schedule a non-blocking update to take effect this delta."""
+        if self._sim is None:
+            # Not yet bound to a simulator: apply immediately (elaboration).
+            self._value = _coerce_value(value, self.width)
+            return
+        self._sim._schedule_update(self, _coerce_value(value, self.width))
+
+    def drive(self, value: Union[LogicVector, int, bool]) -> None:
+        """Alias for ``sig.next = value`` usable in expressions."""
+        self.next = value
+
+    def force(self, value: Union[LogicVector, int, bool]) -> None:
+        """Immediately overwrite the value *without* firing triggers.
+
+        Reserved for testbench initialization and error injection setup;
+        normal design code must use :attr:`next`.
+        """
+        self._value = _coerce_value(value, self.width)
+
+    # ------------------------------------------------------------------
+    # Kernel interface
+    # ------------------------------------------------------------------
+    def _bind(self, sim) -> None:
+        self._sim = sim
+
+    def add_monitor(self, callback) -> None:
+        """Register ``callback(signal, old, new)`` on every value change."""
+        if self._monitors is None:
+            self._monitors = []
+        self._monitors.append(callback)
+
+    def _apply(self, new: LogicVector):
+        """Commit a scheduled update; returns (changed, old_value)."""
+        old = self._value
+        # hot path: inline the four-field comparison (both operands are
+        # always LogicVectors here, so __eq__'s coercion is dead weight)
+        if (
+            new.value == old.value
+            and new.xmask == old.xmask
+            and new.zmask == old.zmask
+            and new.width == old.width
+        ):
+            return False, old
+        self._value = new
+        self.change_count += 1
+        return True, old
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name}={self._value!r})"

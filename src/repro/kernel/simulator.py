@@ -1,0 +1,330 @@
+"""The discrete-event simulation scheduler.
+
+This is the kernel's ModelSim substitute: a delta-cycle, four-state,
+event-driven scheduler.  One *time step* consists of one or more *delta
+cycles*; each delta cycle has an **evaluation phase** (runnable
+processes execute and schedule signal updates non-blockingly) followed
+by an **update phase** (scheduled updates are committed, edge triggers
+fire, and newly sensitive processes become runnable in the next delta).
+When a time step stabilizes, simulated time advances to the earliest
+pending timed event.
+
+Activity accounting
+-------------------
+The paper's Table II observes that wall-clock simulation cost tracks
+*signal activity*, not simulated time (the Census engine simulates
+slower than the Matching engine despite covering less simulated time).
+To reproduce that measurement the scheduler counts, per owning module:
+process resumptions and signal value changes; ``profile=True``
+additionally samples wall-clock time around each process resumption so
+the ReSim-artifact overhead (§V, 1.7%) can be attributed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from collections import defaultdict, deque
+from typing import Dict, Generator, List, Optional, Tuple
+
+from .events import Event, Trigger, _FirstWaiter
+from .process import Process, ProcessError
+from .signal import Signal
+
+__all__ = ["Simulator", "SimulationError", "DeltaOverflowError", "SimStats"]
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+class DeltaOverflowError(SimulationError):
+    """Raised when a time step fails to stabilize (combinational loop)."""
+
+
+class SimStats:
+    """Aggregate counters maintained by the scheduler."""
+
+    __slots__ = (
+        "resumes",
+        "value_changes",
+        "deltas",
+        "timesteps",
+        "resumes_by_owner",
+        "changes_by_owner",
+        "elapsed_ns_by_owner",
+    )
+
+    def __init__(self) -> None:
+        self.resumes = 0
+        self.value_changes = 0
+        self.deltas = 0
+        self.timesteps = 0
+        self.resumes_by_owner: Dict[object, int] = defaultdict(int)
+        self.changes_by_owner: Dict[object, int] = defaultdict(int)
+        self.elapsed_ns_by_owner: Dict[object, int] = defaultdict(int)
+
+    def snapshot(self) -> "SimStats":
+        copy = SimStats()
+        copy.resumes = self.resumes
+        copy.value_changes = self.value_changes
+        copy.deltas = self.deltas
+        copy.timesteps = self.timesteps
+        copy.resumes_by_owner = defaultdict(int, self.resumes_by_owner)
+        copy.changes_by_owner = defaultdict(int, self.changes_by_owner)
+        copy.elapsed_ns_by_owner = defaultdict(int, self.elapsed_ns_by_owner)
+        return copy
+
+    def delta_from(self, earlier: "SimStats") -> "SimStats":
+        diff = SimStats()
+        diff.resumes = self.resumes - earlier.resumes
+        diff.value_changes = self.value_changes - earlier.value_changes
+        diff.deltas = self.deltas - earlier.deltas
+        diff.timesteps = self.timesteps - earlier.timesteps
+        owners = set(self.resumes_by_owner) | set(earlier.resumes_by_owner)
+        for o in owners:
+            diff.resumes_by_owner[o] = (
+                self.resumes_by_owner.get(o, 0) - earlier.resumes_by_owner.get(o, 0)
+            )
+        owners = set(self.changes_by_owner) | set(earlier.changes_by_owner)
+        for o in owners:
+            diff.changes_by_owner[o] = (
+                self.changes_by_owner.get(o, 0) - earlier.changes_by_owner.get(o, 0)
+            )
+        owners = set(self.elapsed_ns_by_owner) | set(earlier.elapsed_ns_by_owner)
+        for o in owners:
+            diff.elapsed_ns_by_owner[o] = (
+                self.elapsed_ns_by_owner.get(o, 0)
+                - earlier.elapsed_ns_by_owner.get(o, 0)
+            )
+        return diff
+
+    @property
+    def events(self) -> int:
+        """Total kernel events — the deterministic proxy for elapsed time."""
+        return self.resumes + self.value_changes
+
+
+class Simulator:
+    """Delta-cycle discrete-event simulator with activity accounting."""
+
+    #: safety net against combinational loops
+    MAX_DELTAS_PER_STEP = 10_000
+
+    def __init__(self, profile: bool = False):
+        self.time = 0  # picoseconds
+        self.profile = profile
+        self.stats = SimStats()
+        self._seq = 0
+        self._timed: List[Tuple[int, int, Trigger]] = []
+        self._ready: deque = deque()  # (process, fired trigger)
+        self._updates: Dict[Signal, object] = {}
+        self._delta_triggers: List[Trigger] = []
+        self._processes: List[Process] = []
+        self._errors: List[ProcessError] = []
+        self._vcd = None
+        self._finished = False
+        self._modules: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Elaboration
+    # ------------------------------------------------------------------
+    def add_module(self, module) -> None:
+        """Register a module hierarchy: binds signals, starts processes."""
+        self._modules.append(module)
+        module._elaborate(self)
+
+    def register_signal(self, signal: Signal) -> None:
+        signal._bind(self)
+
+    def fork(self, gen: Generator, name: str = "proc", owner=None) -> Process:
+        """Start a new process; it first runs in the next delta cycle."""
+        proc = Process(gen, name=name, owner=owner)
+        proc._sim = self
+        self._processes.append(proc)
+        self._ready.append((proc, None))
+        return proc
+
+    def attach_vcd(self, writer) -> None:
+        self._vcd = writer
+        writer._attach(self)
+
+    # ------------------------------------------------------------------
+    # Scheduler internals
+    # ------------------------------------------------------------------
+    def _schedule_timed(self, when: int, trigger: Trigger) -> None:
+        self._seq += 1
+        heapq.heappush(self._timed, (when, self._seq, trigger))
+
+    def _schedule_update(self, signal: Signal, value) -> None:
+        self._updates[signal] = value  # last write wins within a delta
+
+    def _schedule_delta_trigger(self, trigger: Trigger) -> None:
+        self._delta_triggers.append(trigger)
+
+    def _wake(self, waiter, trigger: Trigger) -> None:
+        if isinstance(waiter, _FirstWaiter):
+            first = waiter.first
+            if first.winner is not None:
+                return
+            first.winner = waiter.trigger
+            # Disarm losing sub-triggers so they do not accumulate on
+            # signals when Firsts are used inside polling loops.
+            for sub in first.triggers:
+                if sub is waiter.trigger:
+                    continue
+                for w in list(sub._waiters):
+                    if isinstance(w, _FirstWaiter) and w.first is first:
+                        sub._unprime(w)
+            procs = list(first._waiters)
+            first._waiters.clear()
+            for proc in procs:
+                self._ready.append((proc, waiter.trigger))
+            return
+        self._ready.append((waiter, trigger))
+
+    def _report_process_error(self, error: ProcessError) -> None:
+        self._errors.append(error)
+
+    def _run_evaluation(self) -> None:
+        ready, self._ready = self._ready, deque()
+        stats = self.stats
+        profile = self.profile
+        for proc, fired in ready:
+            if proc.finished:
+                continue
+            stats.resumes += 1
+            owner = proc.owner
+            if owner is not None:
+                stats.resumes_by_owner[owner] += 1
+            if profile:
+                t0 = _time.perf_counter_ns()
+                proc._resume(self, fired)
+                dt = _time.perf_counter_ns() - t0
+                proc.elapsed_ns += dt
+                if owner is not None:
+                    stats.elapsed_ns_by_owner[owner] += dt
+            else:
+                proc._resume(self, fired)
+
+    def _run_update(self) -> None:
+        stats = self.stats
+        updates, self._updates = self._updates, {}
+        fired: List[Trigger] = self._delta_triggers
+        self._delta_triggers = []
+        for signal, value in updates.items():
+            changed, old = signal._apply(value)
+            if not changed:
+                continue
+            stats.value_changes += 1
+            owner = signal.owner
+            if owner is not None:
+                stats.changes_by_owner[owner] += 1
+            if self._vcd is not None and signal._vcd_id is not None:
+                self._vcd._record(self.time, signal)
+            if signal._monitors:
+                for cb in signal._monitors:
+                    cb(signal, old, signal._value)
+            waiters = signal._edge_waiters
+            if waiters["any"]:
+                fired.extend(waiters["any"])
+            new_val = signal._value
+            lsb_new = new_val.value & 1 if not (new_val.xmask | new_val.zmask) & 1 else None
+            lsb_old = old.value & 1 if not (old.xmask | old.zmask) & 1 else None
+            if waiters["rise"] and lsb_new == 1 and lsb_old != 1:
+                fired.extend(waiters["rise"])
+            if waiters["fall"] and lsb_new == 0 and lsb_old != 0:
+                fired.extend(waiters["fall"])
+        for trig in fired:
+            trig._fire(self)
+
+    def _step_deltas(self) -> None:
+        """Run delta cycles at the current time until quiescent."""
+        deltas = 0
+        while self._ready or self._updates or self._delta_triggers:
+            deltas += 1
+            self.stats.deltas += 1
+            if deltas > self.MAX_DELTAS_PER_STEP:
+                raise DeltaOverflowError(
+                    f"time step at t={self.time}ps did not stabilize after "
+                    f"{self.MAX_DELTAS_PER_STEP} delta cycles "
+                    f"(combinational loop?)"
+                )
+            self._run_evaluation()
+            self._run_update()
+            if self._errors:
+                raise self._errors.pop(0)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until ``until`` picoseconds (inclusive) or quiescence.
+
+        Returns the simulation time at which the run stopped.
+        """
+        if until is not None and until < self.time:
+            raise SimulationError(
+                f"cannot run until t={until}ps: simulation is already at "
+                f"t={self.time}ps"
+            )
+        self._step_deltas()
+        self.stats.timesteps += 1
+        while self._timed and not self._finished:
+            when = self._timed[0][0]
+            if until is not None and when > until:
+                self.time = until
+                return self.time
+            self.time = when
+            self.stats.timesteps += 1
+            while self._timed and self._timed[0][0] == when:
+                _, _, trig = heapq.heappop(self._timed)
+                trig._fire(self)
+            self._step_deltas()
+        if until is not None and self.time < until and not self._finished:
+            self.time = until
+        return self.time
+
+    def run_for(self, duration: int) -> int:
+        """Advance simulated time by ``duration`` picoseconds."""
+        return self.run(until=self.time + duration)
+
+    def run_until_event(self, event: Event, timeout: Optional[int] = None) -> bool:
+        """Run until ``event`` fires; returns False on timeout/quiescence."""
+        start_count = event.fired_count
+        deadline = None if timeout is None else self.time + timeout
+        self._step_deltas()
+        self.stats.timesteps += 1
+        while self._timed and not self._finished:
+            if event.fired_count > start_count:
+                return True
+            when = self._timed[0][0]
+            if deadline is not None and when > deadline:
+                self.time = deadline
+                return event.fired_count > start_count
+            self.time = when
+            self.stats.timesteps += 1
+            while self._timed and self._timed[0][0] == when:
+                _, _, trig = heapq.heappop(self._timed)
+                trig._fire(self)
+            self._step_deltas()
+        return event.fired_count > start_count
+
+    def finish(self) -> None:
+        """Request the simulation stop at the end of the current step."""
+        self._finished = True
+
+    def notify(self, event: Event, data=None) -> None:
+        """Fire a named event from non-process context."""
+        event.set(self, data)
+
+    def close(self) -> None:
+        if self._vcd is not None:
+            self._vcd.close()
+            self._vcd = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(t={self.time}ps, {len(self._processes)} processes, "
+            f"{self.stats.events} events)"
+        )

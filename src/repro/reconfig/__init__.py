@@ -1,0 +1,83 @@
+"""The reconfiguration machinery: DUT components and ReSim artifacts.
+
+Two kinds of things live here, mirroring Fig. 4 of the paper:
+
+**User design (implemented on the FPGA):**
+
+* :class:`~repro.reconfig.icapctrl.IcapCtrl` — the reconfiguration
+  controller: a PLB-master DMA engine that streams bitstream words from
+  main memory into the ICAP configuration port,
+* :class:`~repro.reconfig.isolation.Isolation` — gates the RR boundary
+  outputs while the region is being reconfigured,
+* :class:`~repro.reconfig.slot.RRSlot` — the reconfigurable-region
+  socket holding the engines (its output multiplexer exists in both
+  simulation approaches).
+
+**Simulation-only artifacts (ReSim's substitutes for the FPGA fabric):**
+
+* :mod:`~repro.reconfig.simb` — simulation-only bitstreams (Table I),
+* :class:`~repro.reconfig.icap.IcapArtifact` — parses SimBs written to
+  the configuration port,
+* :class:`~repro.reconfig.portal.ExtendedPortal` — the configuration-
+  memory stand-in that swaps modules and drives error injection,
+* :class:`~repro.reconfig.injector.ErrorInjector` — X (or user-defined)
+  error sources on the RR outputs during reconfiguration.
+"""
+
+from .icap import IcapArtifact
+from .icapctrl import IcapCtrl
+from .injector import ErrorInjector, NoopInjector, XInjector
+from .isolation import Isolation
+from .portal import ExtendedPortal
+from .simb import (
+    SimBError,
+    SimBEvent,
+    SimBParser,
+    build_capture_simb,
+    build_restore_simb,
+    build_simb,
+    decode_simb,
+    far_decode,
+    far_encode,
+    DESYNC_CMD,
+    GCAPTURE_CMD,
+    GRESTORE_CMD,
+    NOOP,
+    SYNC_WORD,
+    TYPE1_WRITE_CMD,
+    TYPE1_WRITE_FAR,
+    TYPE2_READ_FDRO,
+    TYPE2_WRITE_FDRI,
+    WCFG_CMD,
+)
+from .slot import RRSlot
+
+__all__ = [
+    "IcapArtifact",
+    "IcapCtrl",
+    "ErrorInjector",
+    "NoopInjector",
+    "XInjector",
+    "Isolation",
+    "ExtendedPortal",
+    "SimBError",
+    "SimBEvent",
+    "SimBParser",
+    "build_capture_simb",
+    "build_restore_simb",
+    "build_simb",
+    "decode_simb",
+    "far_decode",
+    "far_encode",
+    "DESYNC_CMD",
+    "GCAPTURE_CMD",
+    "GRESTORE_CMD",
+    "NOOP",
+    "SYNC_WORD",
+    "TYPE1_WRITE_CMD",
+    "TYPE1_WRITE_FAR",
+    "TYPE2_READ_FDRO",
+    "TYPE2_WRITE_FDRI",
+    "WCFG_CMD",
+    "RRSlot",
+]

@@ -1,0 +1,211 @@
+"""IcapCTRL — the reconfiguration controller of the user design.
+
+A DMA engine that streams a (simulation-only) bitstream from main
+memory into the ICAP configuration port.  It is *user design*: the same
+RTL is implemented on the FPGA, and exercising it in simulation is
+exactly what distinguishes ReSim from Virtual Multiplexing (under VMux
+the module is instantiated but never used, so bugs in this datapath
+ship to the lab undetected).
+
+Architecture: two clock domains around a FIFO,
+
+* the **fetch** process (bus clock) bursts words from memory through a
+  PLB master port into the FIFO, respecting FIFO space,
+* the **drain** process (configuration clock) writes one word per
+  config-clock cycle to the ICAP port.
+
+The re-integrated AutoVision design changed both ends of this pipeline
+and thereby introduced three of Table III's bugs, all reproducible via
+constructor/driver parameters:
+
+* ``arbitrated=False`` — the original *point-to-point* bus attachment;
+  on a shared PLB this collides and corrupts the stream (bug.dpr.4),
+* ``BSIZE`` register is specified in **bytes**; a driver still
+  computing the old word count transfers a quarter of the bitstream
+  (bug.dpr.5),
+* the configuration clock may be slower than the bus clock (the
+  modified design's clocking scheme) which stretches the transfer;
+  software that sleeps a fixed delay instead of waiting for the done
+  interrupt resets the engines mid-transfer (bug.dpr.6b).
+
+DCR register map (offsets): 0 BADDR, 1 BSIZE (bytes), 2 CTRL
+(bit0 = start pulse), 3 STATUS (bit0 done, bit1 busy, bit2 error).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from ..bus.dcr import DcrRegisterFile
+from ..kernel import Event, RisingEdge
+
+__all__ = ["IcapCtrl"]
+
+STATUS_DONE = 0b001
+STATUS_BUSY = 0b010
+STATUS_ERROR = 0b100
+
+
+class IcapCtrl(DcrRegisterFile):
+    """The PLB-master bitstream DMA controller."""
+
+    def __init__(
+        self,
+        name: str,
+        base: int,
+        bus,
+        icap,
+        bus_clock,
+        cfg_clock,
+        fifo_depth: int = 16,
+        arbitrated: bool = True,
+        parent=None,
+    ):
+        super().__init__(name, base, size=8, parent=parent)
+        self.bus = bus
+        self.icap = icap
+        self.bus_clock = bus_clock
+        self.cfg_clock = cfg_clock
+        self.fifo_depth = fifo_depth
+        self.port = bus.attach_master(f"{name}_dma", priority=1, arbitrated=arbitrated)
+        self.add_register("BADDR", 0)
+        self.add_register("BSIZE", 1)
+        self.add_register("CTRL", 2, on_write=self._on_ctrl)
+        self.add_register("STATUS", 3, on_write=lambda _v: self.clear_done())
+        # readback DMA (state saving): destination + byte count
+        self.add_register("RBADDR", 4)
+        self.add_register("RBSIZE", 5)
+        self.done_irq = self.signal("rc_done", 1, init=0)
+        self._start = Event(f"{name}.start")
+        self._fifo: Deque[object] = deque()
+        self._fetch_done = False
+        self.fifo_overflows = 0
+        self.fifo_high_water = 0
+        self.transfers_completed = 0
+        self.words_fetched = 0
+        self.words_drained = 0
+        #: fault knob: when True the fetcher ignores FIFO space (test
+        #: scenario for FIFO overflow per §IV-B)
+        self.ignore_fifo_space = False
+        self._rb_start = Event(f"{name}.rb_start")
+        self.readbacks_completed = 0
+        self.words_read_back = 0
+        self.process(self._fetch_proc, "fetch")
+        self.process(self._drain_proc, "drain")
+        self.process(self._readback_proc, "readback")
+
+    # ------------------------------------------------------------------
+    # Register behaviour
+    # ------------------------------------------------------------------
+    def _on_ctrl(self, value: int) -> None:
+        self.poke("CTRL", 0)
+        if value & 1:
+            if self.sim is not None:
+                self._start.set(self.sim)
+        if value & 2:  # readback DMA start
+            if self.sim is not None:
+                self._rb_start.set(self.sim)
+
+    def _set_status(self, done: bool, busy: bool, error: bool) -> None:
+        self.poke(
+            "STATUS",
+            (STATUS_DONE if done else 0)
+            | (STATUS_BUSY if busy else 0)
+            | (STATUS_ERROR if error else 0),
+        )
+
+    @property
+    def status_done(self) -> bool:
+        return bool(self.peek("STATUS") & STATUS_DONE)
+
+    @property
+    def status_busy(self) -> bool:
+        return bool(self.peek("STATUS") & STATUS_BUSY)
+
+    # ------------------------------------------------------------------
+    # Fetch process (bus clock domain)
+    # ------------------------------------------------------------------
+    def _fetch_proc(self):
+        while True:
+            yield self._start.wait()
+            baddr = self.peek("BADDR")
+            bsize_bytes = self.peek("BSIZE")
+            words = bsize_bytes // 4  # hardware contract: size in BYTES
+            self._set_status(done=False, busy=True, error=False)
+            self.done_irq.next = 0
+            self._fetch_done = False
+            remaining = words
+            addr = baddr
+            while remaining > 0:
+                space = self.fifo_depth - len(self._fifo)
+                if space <= 0 and not self.ignore_fifo_space:
+                    yield RisingEdge(self.bus_clock.out)
+                    continue
+                burst = min(remaining, self.bus.MAX_BURST)
+                if not self.ignore_fifo_space:
+                    burst = min(burst, space)
+                data = yield from self.port.read_burst(addr, burst)
+                for w in data:
+                    if len(self._fifo) >= self.fifo_depth:
+                        self.fifo_overflows += 1  # word dropped
+                        continue
+                    self._fifo.append(w)
+                self.fifo_high_water = max(self.fifo_high_water, len(self._fifo))
+                self.words_fetched += burst
+                addr += burst * 4
+                remaining -= burst
+            self._fetch_done = True
+
+    # ------------------------------------------------------------------
+    # Drain process (configuration clock domain)
+    # ------------------------------------------------------------------
+    def _drain_proc(self):
+        cfg = self.cfg_clock.out
+        while True:
+            yield RisingEdge(cfg)
+            if self._fifo:
+                word = self._fifo.popleft()
+                self.icap.write_word(word)
+                self.words_drained += 1
+                if self._fetch_done and not self._fifo:
+                    # transfer complete: latch STATUS.done and pulse the
+                    # interrupt line for two config-clock cycles
+                    self.transfers_completed += 1
+                    self._set_status(done=True, busy=False, error=False)
+                    self.done_irq.next = 1
+                    yield RisingEdge(cfg)
+                    yield RisingEdge(cfg)
+                    self.done_irq.next = 0
+
+    def clear_done(self) -> None:
+        """Acknowledge the transfer-done condition (driver helper)."""
+        self._set_status(done=False, busy=False, error=False)
+
+    # ------------------------------------------------------------------
+    # Readback process (state saving): ICAP read port -> memory
+    # ------------------------------------------------------------------
+    def _readback_proc(self):
+        cfg = self.cfg_clock.out
+        while True:
+            yield self._rb_start.wait()
+            dest = self.peek("RBADDR")
+            words = self.peek("RBSIZE") // 4  # bytes, like BSIZE
+            self._set_status(done=False, busy=True, error=False)
+            buffer = []
+            for _ in range(words):
+                yield RisingEdge(cfg)  # one word per config-clock cycle
+                buffer.append(self.icap.read_word())
+                if len(buffer) == self.bus.MAX_BURST:
+                    yield from self.port.write_block(dest, buffer)
+                    dest += 4 * len(buffer)
+                    buffer = []
+            if buffer:
+                yield from self.port.write_block(dest, buffer)
+            self.words_read_back += words
+            self.readbacks_completed += 1
+            self._set_status(done=True, busy=False, error=False)
+            self.done_irq.next = 1
+            yield RisingEdge(cfg)
+            yield RisingEdge(cfg)
+            self.done_irq.next = 0

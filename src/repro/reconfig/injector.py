@@ -1,0 +1,98 @@
+"""Error injectors — spurious-output models for regions under reconfiguration.
+
+While a partial bitstream is being written, the logic inside the region
+drives arbitrary garbage onto its boundary; ReSim mimics this by
+connecting an Error Injector to the static side of the RR for the
+duration of the "DURING reconfiguration" phase.  The default
+:class:`XInjector` drives undefined ``X`` on every RR output (the same
+policy as Dynamic Circuit Switch's X injection), and — if the design
+(incorrectly) left DCR registers inside the region — corrupts those DCR
+nodes so the daisy chain breaks.
+
+Advanced users override :meth:`ErrorInjector.injection_values` to model
+design-specific error sources (the paper highlights this OOP extension
+point as ReSim's advantage over fixed X injection).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..kernel import Module, xbits
+
+__all__ = ["ErrorInjector", "XInjector"]
+
+
+class ErrorInjector(Module):
+    """Base error injector bound to one RR slot."""
+
+    #: whether this injector corrupts DCR nodes inside the region; the
+    #: no-error-sources ablation turns every error mechanism off
+    corrupts_dcr = True
+
+    def __init__(
+        self,
+        name: str,
+        slot,
+        dcr_victims: Iterable = (),
+        parent=None,
+    ):
+        super().__init__(name, parent)
+        self.slot = slot
+        #: DCR nodes physically inside the RR (a design bug when non-empty)
+        self.dcr_victims = list(dcr_victims)
+        self.injections = 0
+        self.active = False
+
+    def inject(self) -> None:
+        """Begin driving errors (first SimB payload word arrived)."""
+        self.active = True
+        self.injections += 1
+        self.slot.set_injection(self.injection_values)
+        if self.corrupts_dcr:
+            for node in self.dcr_victims:
+                node.set_corrupted(True)
+
+    def release(self) -> None:
+        """Stop driving errors (last SimB payload word arrived)."""
+        self.active = False
+        self.slot.clear_injection()
+        for node in self.dcr_victims:
+            node.set_corrupted(False)
+
+    # -- override point --------------------------------------------------
+    def injection_values(self) -> Dict[str, object]:
+        """Values driven on the RR outputs while injecting.
+
+        Returns a mapping of output name (``done``/``busy``/``error``/
+        ``io``) to the value to drive.  Subclasses override this for
+        design- or test-specific error sources.
+        """
+        raise NotImplementedError
+
+
+class XInjector(ErrorInjector):
+    """ReSim's default policy: undefined ``X`` on every RR output."""
+
+    def injection_values(self) -> Dict[str, object]:
+        return {
+            "done": xbits(1),
+            "busy": xbits(1),
+            "error": xbits(1),
+            "io": xbits(8),
+        }
+
+
+class NoopInjector(ErrorInjector):
+    """Ablation: no error sources at all (pre-DCS style simulation).
+
+    The region under reconfiguration silently holds benign constants and
+    nothing inside it is corrupted, so isolation logic, X-propagation
+    paths and the DCR-chain-break mechanism are never exercised — used
+    by the ablation benchmarks to show which bugs error injection buys.
+    """
+
+    corrupts_dcr = False
+
+    def injection_values(self) -> Dict[str, object]:
+        return {"done": 0, "busy": 0, "error": 0, "io": 0}

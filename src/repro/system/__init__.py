@@ -1,0 +1,27 @@
+"""The assembled Optical Flow Demonstrator (the paper's DUT).
+
+:class:`~repro.system.autovision.AutoVisionSystem` builds the complete
+SoC of Fig. 1 — PLB + memory + DCR chain + INTC + video VIPs + the RR
+slot with both engines + isolation + IcapCTRL — under either simulation
+method ("resim" or "vmux"), and
+:class:`~repro.system.software.AutoVisionSoftware` runs the pipelined,
+interrupt-driven processing flow of Fig. 2 on top of it.  Historical
+bugs are re-introduced by passing fault keys from
+:mod:`repro.verif.faults` in the :class:`SystemConfig`.
+"""
+
+from .autovision import AutoVisionSystem, MemoryMap, SystemConfig
+from .scenarios import SCENARIOS, scenario, scenario_names
+from .software import AutoVisionSoftware, ResimReconfigStrategy, VmuxReconfigStrategy
+
+__all__ = [
+    "AutoVisionSystem",
+    "MemoryMap",
+    "SystemConfig",
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+    "AutoVisionSoftware",
+    "ResimReconfigStrategy",
+    "VmuxReconfigStrategy",
+]

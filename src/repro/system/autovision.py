@@ -1,0 +1,318 @@
+"""SoC assembly of the Optical Flow Demonstrator (Fig. 1).
+
+One constructor builds the whole DUT under either simulation method:
+
+* ``method="resim"`` — the real reconfiguration machinery is live: the
+  IcapCTRL DMAs SimBs into the ICAP artifact, the Extended Portal swaps
+  engines, the error injector corrupts the RR boundary during transfer,
+* ``method="vmux"`` — the Virtual Multiplexing baseline: an
+  ``engine_signature`` register drives the mux, the IcapCTRL is
+  instantiated but wired to a null configuration port, and no errors
+  are ever injected.
+
+Historical defects are re-created by fault keys (see
+:mod:`repro.verif.faults`); the assembly consults the hardware-side
+keys (``dpr.4``, ``dpr.2``, ``hw.2``) and the software driver consults
+the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from ..bus import DcrBus, InterruptController, PlbBus, PlbMemory
+from ..core import ModuleSpec, RegionSpec, ResimBuilder
+from ..engines import CensusImageEngine, EngineRegs, MatchingEngine
+from ..kernel import Clock, MHz, Module, Simulator
+from ..reconfig import IcapCtrl, Isolation, RRSlot
+from ..video import FrameSequence, SceneConfig, VideoInVIP, VideoOutVIP
+from ..vmux import VirtualMuxWrapper
+
+__all__ = ["SystemConfig", "MemoryMap", "AutoVisionSystem", "NullConfigPort"]
+
+RR_ID = 0x1
+
+# DCR address map
+DCR_ENGINE_REGS = 0x10
+DCR_INTC = 0x00
+DCR_ICAPCTRL = 0x20
+DCR_VMUX_SIG = 0x30
+
+# interrupt source indices
+IRQ_ENGINE_DONE = 0
+IRQ_RECONFIG_DONE = 1
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Build-time parameters of the demonstrator."""
+
+    method: str = "resim"  # "resim" | "vmux"
+    width: int = 160
+    height: int = 120
+    n_objects: int = 3
+    seed: int = 2013
+    bus_mhz: float = 100.0
+    #: the re-integrated design's *slower* configuration clock (§V-A);
+    #: the original design effectively ran it at bus speed
+    cfg_mhz: float = 50.0
+    simb_payload_words: int = 1024
+    radius: int = 2
+    faults: FrozenSet[str] = frozenset()
+    #: load camera frames without bus traffic (fast functional mode)
+    video_backdoor: bool = False
+    profile: bool = False
+    #: ablation knobs (resim method only) — see DESIGN.md §5
+    injector_policy: str = "x"  # "x" | "none"
+    portal_swap_early: bool = False
+
+    def __post_init__(self) -> None:
+        if self.method not in ("resim", "vmux", "dcs"):
+            raise ValueError(f"unknown simulation method {self.method!r}")
+        if self.injector_policy not in ("x", "none"):
+            raise ValueError(f"unknown injector policy {self.injector_policy!r}")
+
+    def scene(self) -> SceneConfig:
+        return SceneConfig(
+            width=self.width,
+            height=self.height,
+            n_objects=self.n_objects,
+            seed=self.seed,
+        )
+
+
+def _align(addr: int, alignment: int = 0x1000) -> int:
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+class MemoryMap:
+    """Buffer layout in main memory, derived from the frame geometry."""
+
+    def __init__(self, config: SystemConfig):
+        frame_bytes = config.width * config.height  # 8bpp
+        vec_bytes = config.width * config.height  # byte-packed vectors
+        bs_bytes = (config.simb_payload_words + 16) * 4
+        cursor = 0
+
+        def place(size: int) -> int:
+            nonlocal cursor
+            base = cursor
+            cursor = _align(cursor + size)
+            return base
+
+        self.input = [place(frame_bytes), place(frame_bytes)]  # ping-pong
+        self.feat = [place(frame_bytes), place(frame_bytes)]
+        self.vec = [place(vec_bytes), place(vec_bytes)]
+        self.out = [place(frame_bytes), place(frame_bytes)]
+        self.bs_cie = place(bs_bytes)
+        self.bs_me = place(bs_bytes)
+        self.size = _align(cursor, 0x10000)
+        self.frame_bytes = frame_bytes
+        self.frame_words = frame_bytes // 4
+
+
+class NullConfigPort(Module):
+    """The unused ICAP of a Virtual-Multiplexing simulation.
+
+    The IcapCTRL is instantiated (it is part of the user design) but
+    nothing parses what it writes — exactly the blind spot the paper
+    attributes to the method.
+    """
+
+    def __init__(self, name: str = "null_icap", parent=None):
+        super().__init__(name, parent)
+        self.words_received = 0
+        self.words_read = 0
+
+    def write_word(self, word) -> None:
+        self.words_received += 1
+
+    def read_word(self) -> int:
+        self.words_read += 1
+        return 0
+
+
+class AutoVisionSystem(Module):
+    """The complete Optical Flow Demonstrator SoC."""
+
+    def __init__(self, config: SystemConfig):
+        super().__init__("autovision")
+        self.config = config
+        faults = config.faults
+        self.memory_map = MemoryMap(config)
+
+        # -- clocks ------------------------------------------------------
+        self.bus_clock = Clock("bus_clk", MHz(config.bus_mhz), parent=self)
+        self.cfg_clock = Clock("cfg_clk", MHz(config.cfg_mhz), parent=self)
+
+        # -- interconnect --------------------------------------------------
+        self.bus = PlbBus("plb", self.bus_clock, parent=self)
+        self.memory = PlbMemory("mem", self.memory_map.size, parent=self)
+        self.bus.attach_slave(self.memory, base=0, size=self.memory_map.size)
+        self.dcr = DcrBus("dcr", self.bus_clock, parent=self)
+
+        # -- static-region register blocks ---------------------------------
+        self.engine_regs = EngineRegs("engine_regs", DCR_ENGINE_REGS, parent=self)
+        self.intc = InterruptController(
+            "intc", DCR_INTC, clock=self.bus_clock, parent=self
+        )
+
+        # -- the reconfigurable region -------------------------------------
+        self.cie = CensusImageEngine(clock=self.bus_clock, parent=self)
+        self.me = MatchingEngine(clock=self.bus_clock, parent=self)
+        self.slot = RRSlot(
+            "rr0",
+            RR_ID,
+            self.bus.attach_master("rr0"),
+            self.engine_regs,
+            [self.cie, self.me],
+            parent=self,
+        )
+        self.isolation = Isolation("isolation", self.slot, parent=self)
+        # software arms the isolation logic through a static-region DCR bit
+        self.engine_regs.add_register(
+            "ISO", 8, on_write=lambda v: self.isolation.set_enabled(v & 1)
+        )
+
+        # -- reconfiguration controller (user design, all methods) ---------
+        self.vmux: Optional[VirtualMuxWrapper] = None
+        self.dcs = None
+        self.artifacts = None
+        if config.method == "resim":
+            from ..reconfig.injector import NoopInjector, XInjector
+
+            builder = ResimBuilder()
+            builder.add_region(
+                RegionSpec(
+                    RR_ID,
+                    "video_rr",
+                    [
+                        ModuleSpec(self.cie.ENGINE_ID, "cie"),
+                        ModuleSpec(self.me.ENGINE_ID, "me"),
+                    ],
+                ),
+                self.slot,
+                injector_cls=(
+                    XInjector if config.injector_policy == "x" else NoopInjector
+                ),
+                dcr_victims=[self.engine_regs] if "dpr.2" in faults else (),
+                portal_swap_early=config.portal_swap_early,
+            )
+            self.artifacts = builder.build(parent=self)
+            icap_target = self.artifacts.icap
+        else:
+            icap_target = NullConfigPort(parent=self)
+        self.icap = icap_target
+        self.icapctrl = IcapCtrl(
+            "icapctrl",
+            base=DCR_ICAPCTRL,
+            bus=self.bus,
+            icap=icap_target,
+            bus_clock=self.bus_clock,
+            cfg_clock=self.cfg_clock,
+            arbitrated="dpr.4" not in faults,
+            parent=self,
+        )
+        if config.method == "vmux":
+            self.vmux = VirtualMuxWrapper(
+                "vmux",
+                self.slot,
+                dcr_base=DCR_VMUX_SIG,
+                # bug.hw.2: the signature register is left uninitialized
+                initial_signature=None if "hw.2" in faults else self.cie.ENGINE_ID,
+                parent=self,
+            )
+        elif config.method == "dcs":
+            from ..reconfig.injector import XInjector
+            from ..vmux import DcsWrapper
+
+            dcs_injector = XInjector(
+                "dcs_injector",
+                self.slot,
+                dcr_victims=[self.engine_regs] if "dpr.2" in faults else (),
+                parent=self,
+            )
+            self.dcs = DcsWrapper(
+                "dcs",
+                self.slot,
+                dcs_injector,
+                clock=self.bus_clock,
+                dcr_base=DCR_VMUX_SIG,
+                initial_signature=None if "hw.2" in faults else self.cie.ENGINE_ID,
+                parent=self,
+            )
+
+        # -- DCR daisy chain (order matters for chain-break behaviour) -----
+        self.dcr.attach(self.engine_regs)
+        self.dcr.attach(self.intc)
+        self.dcr.attach(self.icapctrl)
+        if self.vmux is not None:
+            self.dcr.attach(self.vmux.signature)
+        if self.dcs is not None:
+            self.dcr.attach(self.dcs.signature)
+
+        # -- interrupts -----------------------------------------------------
+        self.intc.connect_source("engine_done", self.isolation.out_done)
+        self.intc.connect_source("reconfig_done", self.icapctrl.done_irq)
+
+        # -- video VIPs ------------------------------------------------------
+        self.sequence = FrameSequence(config.scene())
+        self.video_in = VideoInVIP(
+            "video_in", self.bus.attach_master("video_in"), self.sequence,
+            parent=self,
+        )
+        self.video_out = VideoOutVIP(
+            "video_out", self.bus.attach_master("video_out"), parent=self
+        )
+
+        # -- processor data port (used by the HAL software model) ----------
+        self.cpu_port = self.bus.attach_master("cpu", priority=2)
+
+        # -- initial configuration ------------------------------------------
+        # At power-up the full bitstream configures the CIE into the RR
+        # (ReSim); under VMux the wrapper's initial signature does this
+        # unless bug.hw.2 left it unselected.
+        if config.method == "resim":
+            self.slot.select(self.cie.ENGINE_ID)
+            self.cie.is_reset = True  # full-bitstream config includes init
+
+        if config.method == "resim":
+            self._load_bitstreams()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _load_bitstreams(self) -> None:
+        """Place the partial SimBs for both engines in main memory."""
+        for module_name, base in (("cie", self.memory_map.bs_cie),
+                                  ("me", self.memory_map.bs_me)):
+            words = self.artifacts.simb_for(
+                "video_rr", module_name,
+                payload_words=self.config.simb_payload_words,
+            )
+            self.memory.load_words(base, np.array(words, dtype=np.uint32))
+        self.bitstream_words = len(words)
+
+    def bitstream_base(self, module_id: int) -> int:
+        if module_id == self.cie.ENGINE_ID:
+            return self.memory_map.bs_cie
+        if module_id == self.me.ENGINE_ID:
+            return self.memory_map.bs_me
+        raise KeyError(f"no bitstream for module {module_id:#x}")
+
+    def bitstream_size_bytes(self) -> int:
+        """True size of each partial bitstream in bytes (HW contract)."""
+        from ..reconfig.simb import simb_header_words
+
+        return (simb_header_words() + self.config.simb_payload_words + 2) * 4
+
+    def build(self, profile: Optional[bool] = None) -> Simulator:
+        """Create a simulator and elaborate the system into it."""
+        sim = Simulator(
+            profile=self.config.profile if profile is None else profile
+        )
+        sim.add_module(self)
+        return sim

@@ -1,0 +1,72 @@
+"""Named simulation scenarios — the knobs of the case study, packaged.
+
+The paper varies a handful of parameters across its experiments: frame
+geometry (320x240 real video vs whatever the testbench can afford),
+SimB length (short for debug turnaround, 129K words for bit-true
+transfer timing), and the configuration clocking scheme (the original
+fast clock vs the re-integrated design's slower one, which is what
+exposed bug.dpr.6b).  Each scenario here is a ready-made
+:class:`~repro.system.autovision.SystemConfig` for one of those
+operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from ..reconfig.simb import DEFAULT_PAYLOAD_WORDS, REAL_BITSTREAM_WORDS
+from .autovision import SystemConfig
+
+__all__ = ["SCENARIOS", "scenario", "scenario_names"]
+
+SCENARIOS: Dict[str, SystemConfig] = {
+    # fast CI-scale runs (the campaign default)
+    "tiny": SystemConfig(width=48, height=32, simb_payload_words=128),
+    # the benchmark default: ~1/11 of the paper's pixels
+    "scaled": SystemConfig(width=96, height=72, simb_payload_words=384),
+    # the paper's geometry and its 4K-word debug SimB
+    "paper": SystemConfig(
+        width=320, height=240, simb_payload_words=DEFAULT_PAYLOAD_WORDS
+    ),
+    # maximum transfer-timing accuracy: SimB as long as a real bitstream
+    "paper-bitstream-accurate": SystemConfig(
+        width=320, height=240, simb_payload_words=REAL_BITSTREAM_WORDS
+    ),
+    # the ORIGINAL design's clocking scheme (fast configuration clock) —
+    # the operating point that *hid* bug.dpr.6b
+    "original-clocking": SystemConfig(
+        width=96, height=72, simb_payload_words=384, cfg_mhz=100.0
+    ),
+    # an aggressively slowed configuration clock: stretches the DPR
+    # window, the stress case for isolation/timing bugs
+    "slow-config-clock": SystemConfig(
+        width=96, height=72, simb_payload_words=384, cfg_mhz=10.0
+    ),
+    # the Virtual Multiplexing baseline at the benchmark geometry
+    "vmux-baseline": SystemConfig(
+        method="vmux", width=96, height=72, simb_payload_words=384
+    ),
+    # the Dynamic-Circuit-Switch-style middle ground of §II
+    "dcs-baseline": SystemConfig(
+        method="dcs", width=96, height=72, simb_payload_words=384
+    ),
+}
+
+
+def scenario(name: str, **overrides) -> SystemConfig:
+    """Fetch a named scenario, optionally overriding fields.
+
+    >>> cfg = scenario("tiny", faults=frozenset({"dpr.4"}))
+    """
+    try:
+        base = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
+        ) from None
+    return replace(base, **overrides) if overrides else base
+
+
+def scenario_names() -> List[str]:
+    return sorted(SCENARIOS)

@@ -1,0 +1,41 @@
+"""Verification environment: bug registry, scoreboards, campaign runner.
+
+This package is the experimental engine behind the paper's evaluation:
+
+* :mod:`~repro.verif.faults` — the catalogue of injectable bugs
+  (Table III's selected bugs plus the rest of Figure 5's tally), each a
+  switch that re-creates the historical defect in the DUT or driver,
+* :mod:`~repro.verif.scoreboard` — golden-model checks of every buffer
+  the system produces,
+* :mod:`~repro.verif.campaign` — runs the system with a bug injected
+  under Virtual Multiplexing and under ReSim and classifies the outcome
+  (detected / missed / false alarm / not applicable).
+"""
+
+from .coverage import DprCoverage
+from .faults import BUGS, BugSpec, validate_fault_keys
+from .monitor import (
+    PlbTrafficMonitor,
+    PlbTransactionRecord,
+    ReconfigWindowChecker,
+    SignalTraceMonitor,
+)
+from .scoreboard import FrameCheck, RunResult, SystemScoreboard
+from .campaign import CampaignResult, run_bug_campaign, run_system
+
+__all__ = [
+    "DprCoverage",
+    "PlbTrafficMonitor",
+    "PlbTransactionRecord",
+    "ReconfigWindowChecker",
+    "SignalTraceMonitor",
+    "BUGS",
+    "BugSpec",
+    "validate_fault_keys",
+    "FrameCheck",
+    "RunResult",
+    "SystemScoreboard",
+    "CampaignResult",
+    "run_bug_campaign",
+    "run_system",
+]

@@ -1,0 +1,178 @@
+"""The bug-detection campaign: Table III / Figure 5 as an experiment.
+
+:func:`run_system` simulates the full demonstrator for N frames under a
+given configuration and returns a :class:`~repro.verif.scoreboard.RunResult`.
+:func:`run_bug_campaign` then reproduces the paper's comparison: every
+bug in the catalogue is injected (one at a time) and the system is run
+under **both** simulation methods; the outcome matrix shows which
+method detects which bug, mirroring the "Comments" column of Table III.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional
+
+from ..system.autovision import AutoVisionSystem, SystemConfig
+from ..system.software import AutoVisionSoftware
+from .faults import BUGS, BugSpec, validate_fault_keys
+from .scoreboard import RunResult, SystemScoreboard
+
+__all__ = ["run_system", "run_bug_campaign", "CampaignResult", "BugOutcome"]
+
+
+def _collect_monitors(system) -> Dict[str, int]:
+    monitors = {
+        "isolation_x_leaks": system.isolation.x_leaks,
+        "intc_x_violations": system.intc.x_violations,
+        "dcr_chain_breaks": system.dcr.chain_break_observed,
+        "plb_protocol_errors": system.bus.protocol_errors,
+        "icapctrl_fifo_overflows": system.icapctrl.fifo_overflows,
+        "lost_start_pulses": system.slot.lost_start_pulses,
+        "lost_reset_pulses": system.slot.lost_reset_pulses,
+    }
+    if system.artifacts is not None:
+        monitors["simb_framing_errors"] = len(system.artifacts.icap.framing_errors)
+        monitors["unknown_module_swaps"] = sum(
+            p.unknown_module_errors for p in system.artifacts.portals.values()
+        )
+    return monitors
+
+
+def run_system(
+    config: SystemConfig,
+    n_frames: int = 2,
+    timeout_frames_factor: float = 6.0,
+) -> RunResult:
+    """Build, run and check one complete system simulation."""
+    validate_fault_keys(config.faults)
+    system = AutoVisionSystem(config)
+    software = AutoVisionSoftware(system)
+    sim = system.build()
+    scoreboard = SystemScoreboard(system, software)
+    scoreboard.start(sim)
+
+    frame_cycles = 16 * config.width * config.height
+    timeout_ps = int(
+        timeout_frames_factor * n_frames * frame_cycles * system.bus_clock.period
+    ) + 8 * (config.simb_payload_words + 64) * system.cfg_clock.period * n_frames
+
+    wall0 = time.perf_counter()
+    sim.fork(software.run(n_frames), "software.main", owner=software)
+    sim.run_until_event(software.run_complete, timeout=timeout_ps)
+    elapsed = time.perf_counter() - wall0
+
+    return RunResult(
+        method=config.method,
+        faults=tuple(sorted(config.faults)),
+        frames_requested=n_frames,
+        frames_processed=software.frames_processed,
+        frames_drawn=software.frames_drawn,
+        hung=not software.finished,
+        checks=list(scoreboard.checks),
+        software_anomalies=list(software.anomalies),
+        monitors=_collect_monitors(system),
+        sim_time_ps=sim.time,
+        kernel_events=sim.stats.events,
+        elapsed_s=elapsed,
+    )
+
+
+@dataclass(frozen=True)
+class BugOutcome:
+    """One bug's fate under both simulation methods."""
+
+    bug: BugSpec
+    vmux_detected: bool
+    resim_detected: bool
+    vmux_result: RunResult
+    resim_result: RunResult
+
+    @property
+    def classification(self) -> str:
+        if self.bug.is_false_alarm:
+            return "vmux false alarm" if self.vmux_detected else "missed"
+        if self.resim_detected and self.vmux_detected:
+            return "detected by both"
+        if self.resim_detected:
+            return "ONLY ReSim"
+        if self.vmux_detected:
+            return "ONLY VMux"
+        return "MISSED by both"
+
+    @property
+    def matches_paper(self) -> bool:
+        """Did our reproduction detect exactly what the paper claims?"""
+        expected_vmux = "vmux" in self.bug.expected_detectors
+        expected_resim = "resim" in self.bug.expected_detectors
+        return (
+            self.vmux_detected == expected_vmux
+            and self.resim_detected == expected_resim
+        )
+
+
+@dataclass
+class CampaignResult:
+    outcomes: List[BugOutcome] = field(default_factory=list)
+    baseline_vmux: Optional[RunResult] = None
+    baseline_resim: Optional[RunResult] = None
+
+    @property
+    def all_match_paper(self) -> bool:
+        return all(o.matches_paper for o in self.outcomes)
+
+    def outcome(self, key: str) -> BugOutcome:
+        for o in self.outcomes:
+            if o.bug.key == key:
+                return o
+        raise KeyError(key)
+
+    def detected_counts(self) -> Dict[str, int]:
+        return {
+            "vmux": sum(o.vmux_detected for o in self.outcomes),
+            "resim": sum(o.resim_detected for o in self.outcomes),
+            "resim_only": sum(
+                o.resim_detected and not o.vmux_detected for o in self.outcomes
+            ),
+        }
+
+
+def run_bug_campaign(
+    bug_keys: Optional[Iterable[str]] = None,
+    base_config: Optional[SystemConfig] = None,
+    n_frames: int = 2,
+    include_baseline: bool = True,
+) -> CampaignResult:
+    """Inject each bug under both methods and classify the outcomes."""
+    if base_config is None:
+        base_config = SystemConfig(width=64, height=48, simb_payload_words=256)
+    keys = list(bug_keys) if bug_keys is not None else list(BUGS)
+    result = CampaignResult()
+    if include_baseline:
+        result.baseline_vmux = run_system(
+            replace(base_config, method="vmux", faults=frozenset()), n_frames
+        )
+        result.baseline_resim = run_system(
+            replace(base_config, method="resim", faults=frozenset()), n_frames
+        )
+    for key in keys:
+        bug = BUGS[key]
+        vmux_run = run_system(
+            replace(base_config, method="vmux", faults=frozenset({key})),
+            n_frames,
+        )
+        resim_run = run_system(
+            replace(base_config, method="resim", faults=frozenset({key})),
+            n_frames,
+        )
+        result.outcomes.append(
+            BugOutcome(
+                bug=bug,
+                vmux_detected=vmux_run.detected,
+                resim_detected=resim_run.detected,
+                vmux_result=vmux_run,
+                resim_result=resim_run,
+            )
+        )
+    return result

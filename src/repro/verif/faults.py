@@ -1,0 +1,215 @@
+"""The injectable-bug catalogue.
+
+Every bug the case study's Figure 5 tallies is reproduced here as a
+*fault key* the system assembly and the software driver consult.  The
+selected bugs of Table III keep their paper names (``hw.2``, ``dpr.4``,
+``dpr.5``, ``dpr.6b``); the remaining DPR/software/static bugs the
+paper counts but does not individually describe are reconstructed from
+its narrative (three "extremely costly" static bugs fixed in weeks 6-9,
+two software bugs and six DPR bugs found with ReSim in weeks 10-11).
+
+``expected_detectors`` records the *paper's claim* about which
+simulation method can catch each bug; the campaign
+(:mod:`repro.verif.campaign`) measures what our reproduction actually
+detects and the Table III bench compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+__all__ = ["BugSpec", "BUGS", "validate_fault_keys", "STATIC_PHASE_BUGS", "DPR_PHASE_BUGS"]
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """One historical defect of the re-integrated demonstrator."""
+
+    key: str
+    title: str
+    description: str
+    layer: str  # "hardware" | "software" | "testbench"
+    kind: str  # "static" | "dpr" | "vmux-false-alarm"
+    expected_detectors: Tuple[str, ...]  # subset of ("vmux", "resim")
+    week_found: int  # Figure 5 timeline position
+    paper_ref: str
+
+    @property
+    def is_false_alarm(self) -> bool:
+        return self.kind == "vmux-false-alarm"
+
+
+def _bug(*args, **kwargs) -> BugSpec:
+    return BugSpec(*args, **kwargs)
+
+
+BUGS: Dict[str, BugSpec] = {
+    spec.key: spec
+    for spec in [
+        # -- Table III selected bugs ------------------------------------
+        _bug(
+            "hw.2",
+            "engine_signature not initialized",
+            "The simulation-only engine_signature register powers up "
+            "unselected, so no engine is active and the CIE/ME is never "
+            "reset.  The register does not exist in the implemented "
+            "design: a Virtual-Multiplexing false alarm.",
+            layer="testbench",
+            kind="vmux-false-alarm",
+            expected_detectors=("vmux",),
+            week_found=5,
+            paper_ref="Table III bug.hw.2",
+        ),
+        _bug(
+            "dpr.4",
+            "IcapCTRL in point-to-point mode on shared PLB",
+            "The reconfiguration controller was integrated with the "
+            "point-to-point bus parameters of the original design and "
+            "collides with other masters on the shared PLB, corrupting "
+            "the bitstream transfer.",
+            layer="hardware",
+            kind="dpr",
+            expected_detectors=("resim",),
+            week_found=10,
+            paper_ref="Table III bug.dpr.4",
+        ),
+        _bug(
+            "dpr.5",
+            "driver computes bitstream size in words, hardware expects bytes",
+            "After a hardware parameter change the software driver was "
+            "not updated: it programs BSIZE with the word count, so only "
+            "a quarter of the SimB is transferred and the module never "
+            "swaps.",
+            layer="software",
+            kind="dpr",
+            expected_detectors=("resim",),
+            week_found=10,
+            paper_ref="Table III bug.dpr.5",
+        ),
+        _bug(
+            "dpr.6b",
+            "engine reset issued before bitstream transfer completes",
+            "The modified clocking scheme slowed the configuration "
+            "clock; the software still sleeps a fixed delay tuned for "
+            "the old clock and pulses reset/start while the region is "
+            "mid-reconfiguration, so the pulses are lost and the new "
+            "engine runs dirty (or never starts).",
+            layer="software",
+            kind="dpr",
+            expected_detectors=("resim",),
+            week_found=11,
+            paper_ref="Table III bug.dpr.6b",
+        ),
+        # -- remaining DPR bugs of the Figure 5 tally --------------------
+        _bug(
+            "dpr.1",
+            "isolation not armed before reconfiguration",
+            "The driver forgets to enable the Isolation module, so the "
+            "X garbage the region emits during configuration reaches the "
+            "interrupt controller.",
+            layer="software",
+            kind="dpr",
+            expected_detectors=("resim",),
+            week_found=10,
+            paper_ref="§IV-B isolation discussion",
+        ),
+        _bug(
+            "dpr.2",
+            "DCR registers left inside the reconfigurable region",
+            "The engine parameter registers were not moved into the "
+            "static region; during reconfiguration the corrupted node "
+            "breaks the DCR daisy chain and every register behind it "
+            "reads X.",
+            layer="hardware",
+            kind="dpr",
+            expected_detectors=("resim",),
+            week_found=10,
+            paper_ref="§III / §IV-B DCR daisy chain discussion",
+        ),
+        _bug(
+            "dpr.3",
+            "newly configured engine started without reset",
+            "The driver starts the freshly loaded engine without the "
+            "mandatory reset; its undefined internal state corrupts the "
+            "frame.",
+            layer="software",
+            kind="dpr",
+            expected_detectors=("resim",),
+            week_found=11,
+            paper_ref="Table III bug.dpr.6 family",
+        ),
+        # -- the two software bugs found in the ReSim phase --------------
+        _bug(
+            "sw.1",
+            "feature ping-pong buffers swapped in the ME driver call",
+            "The driver passes the current feature image as the previous "
+            "one and vice versa, inverting every motion vector.",
+            layer="software",
+            kind="static",
+            expected_detectors=("vmux", "resim"),
+            week_found=10,
+            paper_ref="§V-A '2 software bugs'",
+        ),
+        _bug(
+            "sw.2",
+            "interrupt acknowledge forgotten in the engine-done ISR",
+            "The ISR never clears the pending bit, so the next wait "
+            "returns immediately on the stale interrupt and the pipeline "
+            "runs ahead of the hardware.",
+            layer="software",
+            kind="static",
+            expected_detectors=("vmux", "resim"),
+            week_found=11,
+            paper_ref="§V-A '2 software bugs'",
+        ),
+        # -- the three costly static bugs of weeks 6-9 -------------------
+        _bug(
+            "hw.s1",
+            "video input DMA writes to a misaligned frame base",
+            "The camera VIP integration writes each frame 0x100 bytes "
+            "past the input buffer, so the CIE transforms garbage.",
+            layer="hardware",
+            kind="static",
+            expected_detectors=("vmux", "resim"),
+            week_found=6,
+            paper_ref="§V-A '3 extremely costly bugs in the static region'",
+        ),
+        _bug(
+            "hw.s2",
+            "interrupt enable mask programs the wrong source bit",
+            "The engine-done interrupt is never enabled, so the system "
+            "hangs waiting for the first frame.",
+            layer="hardware",
+            kind="static",
+            expected_detectors=("vmux", "resim"),
+            week_found=7,
+            paper_ref="§V-A '3 extremely costly bugs in the static region'",
+        ),
+        _bug(
+            "hw.s3",
+            "frame width parameter off by four pixels",
+            "The WIDTH register is programmed four pixels short, "
+            "shearing every output buffer.",
+            layer="hardware",
+            kind="static",
+            expected_detectors=("vmux", "resim"),
+            week_found=9,
+            paper_ref="§V-A '3 extremely costly bugs in the static region'",
+        ),
+    ]
+}
+
+#: bugs attributed to the Virtual-Multiplexing phase of Figure 5
+STATIC_PHASE_BUGS = tuple(k for k, b in BUGS.items() if b.week_found <= 9)
+#: bugs attributed to the ReSim phase of Figure 5 (weeks 10-11)
+DPR_PHASE_BUGS = tuple(k for k, b in BUGS.items() if b.week_found >= 10)
+
+
+def validate_fault_keys(faults: Iterable[str]) -> FrozenSet[str]:
+    """Check every fault key exists; returns the normalized set."""
+    faults = frozenset(faults)
+    unknown = faults - set(BUGS)
+    if unknown:
+        raise KeyError(f"unknown fault keys: {sorted(unknown)}")
+    return faults

@@ -1,0 +1,152 @@
+"""Passive protocol monitors — the testbench's observation layer.
+
+Monitors record what happened on the interconnect without disturbing
+it, so tests can assert on *timing and ordering*, not just final state:
+
+* :class:`PlbTrafficMonitor` — every completed bus transaction (master,
+  direction, address, burst length, start/end time), with per-master
+  summaries and address-window filters,
+* :class:`SignalTraceMonitor` — timestamped value changes of selected
+  signals (e.g. the irq line, the RR boundary), including X excursions,
+* :class:`ReconfigWindowChecker` — an assertion monitor: during every
+  reconfiguration window (portal ``inject_start`` .. ``swap``) no
+  engine transaction may appear on the PLB (a swapped-out region that
+  keeps mastering the bus is a serious isolation failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "PlbTransactionRecord",
+    "PlbTrafficMonitor",
+    "SignalTraceMonitor",
+    "ReconfigWindowChecker",
+]
+
+
+@dataclass(frozen=True)
+class PlbTransactionRecord:
+    master: str
+    is_read: bool
+    addr: int
+    burst: int
+    issued_at: Optional[int]
+    completed_at: Optional[int]
+    error: Optional[str]
+
+    @property
+    def latency_ps(self) -> Optional[int]:
+        if self.issued_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+
+class PlbTrafficMonitor:
+    """Records every completed PLB transaction."""
+
+    def __init__(self, bus):
+        self.bus = bus
+        self.records: List[PlbTransactionRecord] = []
+        bus.add_observer(self._observe)
+
+    def _observe(self, txn) -> None:
+        self.records.append(
+            PlbTransactionRecord(
+                master=txn.master.name,
+                is_read=txn.is_read,
+                addr=txn.addr,
+                burst=txn.burst,
+                issued_at=txn.issued_at,
+                completed_at=txn.completed_at,
+                error=txn.error,
+            )
+        )
+
+    def by_master(self, name: str) -> List[PlbTransactionRecord]:
+        return [r for r in self.records if r.master == name]
+
+    def in_window(self, lo: int, hi: int) -> List[PlbTransactionRecord]:
+        """Transactions whose address falls in ``[lo, hi)``."""
+        return [r for r in self.records if lo <= r.addr < hi]
+
+    def between(self, t0: int, t1: int) -> List[PlbTransactionRecord]:
+        """Transactions completing within simulated times ``[t0, t1]``."""
+        return [
+            r
+            for r in self.records
+            if r.completed_at is not None and t0 <= r.completed_at <= t1
+        ]
+
+    def summary(self):
+        out = {}
+        for r in self.records:
+            entry = out.setdefault(r.master, {"reads": 0, "writes": 0, "beats": 0})
+            entry["reads" if r.is_read else "writes"] += 1
+            entry["beats"] += r.burst
+        return out
+
+
+class SignalTraceMonitor:
+    """Timestamped change log of one signal (with X accounting)."""
+
+    def __init__(self, sim, signal):
+        self.sim = sim
+        self.signal = signal
+        self.changes: List[Tuple[int, str]] = []
+        self.x_excursions = 0
+        signal.add_monitor(self._observe)
+
+    def _observe(self, signal, old, new) -> None:
+        self.changes.append((self.sim.time, new.to_string()))
+        if new.has_x and not old.has_x:
+            self.x_excursions += 1
+
+    def rising_edges(self) -> List[int]:
+        out = []
+        prev = None
+        for t, v in self.changes:
+            if v == "1" and prev != "1":
+                out.append(t)
+            prev = v
+        return out
+
+    def value_at_or_before(self, time: int) -> Optional[str]:
+        best = None
+        for t, v in self.changes:
+            if t <= time:
+                best = v
+        return best
+
+
+class ReconfigWindowChecker:
+    """Asserts the region is bus-silent while being reconfigured."""
+
+    def __init__(self, traffic: PlbTrafficMonitor, portal, rr_master: str):
+        self.traffic = traffic
+        self.portal = portal
+        self.rr_master = rr_master
+        self.violations: List[PlbTransactionRecord] = []
+
+    def check(self) -> List[PlbTransactionRecord]:
+        """Scan recorded traffic against every reconfiguration window."""
+        windows = []
+        start = None
+        for rec in self.portal.timeline:
+            if rec.kind == "inject_start":
+                start = rec.time
+            elif rec.kind == "swap" and start is not None:
+                windows.append((start, rec.time))
+                start = None
+        self.violations = []
+        for lo, hi in windows:
+            for txn in self.traffic.between(lo, hi):
+                if txn.master == self.rr_master:
+                    self.violations.append(txn)
+        return self.violations
+
+    @property
+    def ok(self) -> bool:
+        return not self.check()

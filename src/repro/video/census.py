@@ -1,0 +1,70 @@
+"""Golden model of the Census transform (the CIE's function).
+
+The Census transform maps each pixel to a bit signature describing the
+sign of its difference against each neighbour in a 3x3 window: bit ``k``
+is 1 iff the ``k``-th neighbour is strictly brighter than the centre.
+The result is an 8-bit *feature image* that is illumination invariant —
+which is why the AutoVision Optical Flow pipeline matches census
+signatures rather than raw pixels.
+
+Neighbour order (bit 0 .. bit 7), matching the hardware's raster scan of
+the window::
+
+    0 1 2
+    3 . 4
+    5 6 7
+
+Border pixels (no full window) are assigned signature 0 by convention;
+the Matching Engine skips them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["census_transform", "hamming_distance", "NEIGHBOUR_OFFSETS"]
+
+#: (dy, dx) of each signature bit, raster order around the window
+NEIGHBOUR_OFFSETS = [
+    (-1, -1), (-1, 0), (-1, 1),
+    (0, -1), (0, 1),
+    (1, -1), (1, 0), (1, 1),
+]
+
+
+def census_transform(frame: np.ndarray) -> np.ndarray:
+    """Compute the 8-bit census feature image of a grayscale frame.
+
+    Parameters
+    ----------
+    frame:
+        (H, W) array of unsigned pixel intensities.
+
+    Returns
+    -------
+    (H, W) uint8 array of census signatures; border rows/cols are 0.
+    """
+    frame = np.asarray(frame)
+    if frame.ndim != 2:
+        raise ValueError(f"frame must be 2-D, got shape {frame.shape}")
+    h, w = frame.shape
+    if h < 3 or w < 3:
+        raise ValueError("frame too small for a 3x3 census window")
+    centre = frame[1:-1, 1:-1]
+    out = np.zeros((h, w), dtype=np.uint8)
+    sig = np.zeros((h - 2, w - 2), dtype=np.uint8)
+    for bit, (dy, dx) in enumerate(NEIGHBOUR_OFFSETS):
+        neigh = frame[1 + dy : h - 1 + dy, 1 + dx : w - 1 + dx]
+        sig |= (neigh > centre).astype(np.uint8) << bit
+    out[1:-1, 1:-1] = sig
+    return out
+
+
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise Hamming distance between two uint8 signature arrays."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    return _POPCOUNT[a ^ b]

@@ -1,0 +1,109 @@
+"""Golden model of census matching (the Matching Engine's function).
+
+For every pixel of the *current* feature image, the matcher searches a
+``(2r+1) x (2r+1)`` window of the *previous* feature image for the
+census signature with minimum Hamming distance; the displacement of the
+winner is the pixel's motion vector.  Ties prefer the smallest
+displacement (zero motion first), matching the hardware's
+first-match-wins scan from the window centre outward.
+
+Pixels whose signature is 0 (census border / featureless) produce the
+"invalid" vector, encoded as (0, 0) with valid=False in the packed
+format (:mod:`repro.video.formats`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .census import hamming_distance
+
+__all__ = ["match_features", "motion_field_error", "DEFAULT_SEARCH_RADIUS"]
+
+DEFAULT_SEARCH_RADIUS = 2
+
+
+def _search_order(radius: int):
+    """Candidate displacements sorted by |d| then raster order."""
+    cands = [
+        (dx, dy)
+        for dy in range(-radius, radius + 1)
+        for dx in range(-radius, radius + 1)
+    ]
+    cands.sort(key=lambda d: (abs(d[0]) + abs(d[1]), d[1], d[0]))
+    return cands
+
+
+def match_features(
+    prev_feat: np.ndarray,
+    curr_feat: np.ndarray,
+    radius: int = DEFAULT_SEARCH_RADIUS,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Match ``curr_feat`` against ``prev_feat``.
+
+    Returns ``(dx, dy, valid)`` — three (H, W) arrays.  ``dx``/``dy``
+    are int8 displacements *from the previous frame to the current one*
+    (i.e. the motion of the scene content); ``valid`` marks pixels where
+    a match was attempted (full search window inside the frame and a
+    non-zero signature).
+    """
+    prev_feat = np.asarray(prev_feat, dtype=np.uint8)
+    curr_feat = np.asarray(curr_feat, dtype=np.uint8)
+    if prev_feat.shape != curr_feat.shape:
+        raise ValueError("feature images must have identical shapes")
+    h, w = curr_feat.shape
+    if h <= 2 * radius + 2 or w <= 2 * radius + 2:
+        raise ValueError("frame too small for the search radius")
+
+    best_cost = np.full((h, w), 255, dtype=np.uint8)
+    best_dx = np.zeros((h, w), dtype=np.int8)
+    best_dy = np.zeros((h, w), dtype=np.int8)
+
+    # Interior region where every candidate window fits.  +1 accounts
+    # for the census border.
+    m = radius + 1
+    ys = slice(m, h - m)
+    xs = slice(m, w - m)
+    curr_c = curr_feat[ys, xs]
+
+    for dx, dy in _search_order(radius):
+        # content moved by (dx, dy): curr[y, x] matches prev[y-dy, x-dx]
+        prev_c = prev_feat[m - dy : h - m - dy, m - dx : w - m - dx]
+        cost = hamming_distance(curr_c, prev_c)
+        better = cost < best_cost[ys, xs]
+        region_dx = best_dx[ys, xs]
+        region_dy = best_dy[ys, xs]
+        region_cost = best_cost[ys, xs]
+        region_dx[better] = dx
+        region_dy[better] = dy
+        region_cost[better] = cost[better]
+        best_dx[ys, xs] = region_dx
+        best_dy[ys, xs] = region_dy
+        best_cost[ys, xs] = region_cost
+
+    valid = np.zeros((h, w), dtype=bool)
+    valid[ys, xs] = curr_feat[ys, xs] != 0
+    best_dx[~valid] = 0
+    best_dy[~valid] = 0
+    return best_dx, best_dy, valid
+
+
+def motion_field_error(
+    dx: np.ndarray,
+    dy: np.ndarray,
+    valid: np.ndarray,
+    mask: np.ndarray,
+    expected: Tuple[int, int],
+) -> float:
+    """Fraction of valid pixels under ``mask`` whose vector is wrong.
+
+    Used by scoreboards to check engine output against the synthetic
+    scene's ground-truth object motion.
+    """
+    sel = mask & valid
+    if not sel.any():
+        return 1.0
+    wrong = (dx[sel] != expected[0]) | (dy[sel] != expected[1])
+    return float(wrong.mean())

@@ -1,0 +1,21 @@
+"""Virtual Multiplexing — the traditional DPR simulation baseline (Fig. 3).
+
+Both engines are instantiated in parallel behind a multiplexer whose
+select is driven by a simulation-only ``engine_signature`` DCR register;
+"reconfiguration" is the software writing that register.  The method
+models module swapping only:
+
+* the IcapCTRL is instantiated but never exercised,
+* no erroneous outputs are generated, so isolation logic is untested,
+* the reconfiguration delay is zero,
+* the control software must be *hacked* to write the signature register
+  instead of driving the real reconfiguration machinery.
+
+This package provides the wrapper and the signature register; the
+hacked driver lives in :class:`repro.system.software.VmuxReconfigStrategy`.
+"""
+
+from .dcs import DcsWrapper
+from .wrapper import EngineSignatureRegister, VirtualMuxWrapper
+
+__all__ = ["DcsWrapper", "EngineSignatureRegister", "VirtualMuxWrapper"]

@@ -1,0 +1,136 @@
+"""Tests for the VCD corruption scanner."""
+
+import io
+
+import pytest
+
+from repro.analysis import VcdParseError, VcdScan
+from repro.kernel import Clock, MHz, Module, Simulator, Timer, VcdWriter, xbits
+
+
+def run_and_dump():
+    """Produce a VCD with a known X window on one signal."""
+    sim = Simulator()
+    top = Module("top")
+    sig = top.signal("data", 8, init=0)
+    ok = top.signal("ok", 1, init=0)
+
+    def driver():
+        yield Timer(100)
+        sig.next = 0x55
+        ok.next = 1
+        yield Timer(100)
+        sig.next = xbits(8)  # X window starts at t=200
+        yield Timer(300)
+        sig.next = 0xAA  # X window ends at t=500
+        yield Timer(100)
+
+    top.process(driver, "driver")
+    stream = io.StringIO()
+    writer = VcdWriter(stream)
+    writer.trace_module(top)
+    sim.add_module(top)
+    sim.attach_vcd(writer)
+    sim.run(until=600)
+    sim.close()  # writes the final timestamp
+    stream.seek(0)
+    return VcdScan.parse(stream)
+
+
+def test_roundtrip_with_our_writer():
+    scan = run_and_dump()
+    assert "top.data" in scan.paths()
+    assert "top.ok" in scan.paths()
+    assert scan.end_time == 600
+
+
+def test_x_interval_detection():
+    scan = run_and_dump()
+    assert scan.x_intervals("top.data") == [(200, 500)]
+    assert scan.x_intervals("top.ok") == []
+
+
+def test_first_x():
+    scan = run_and_dump()
+    t, path = scan.first_x()
+    assert (t, path) == (200, "top.data")
+
+
+def test_changes_list():
+    scan = run_and_dump()
+    changes = scan.changes("top.ok")
+    assert (100, "1") in changes
+
+
+def test_corruption_report():
+    scan = run_and_dump()
+    report = scan.corruption_report()
+    assert "X on top.data" in report
+    assert "[200..500)" in report
+
+
+def test_unterminated_x_runs_to_end():
+    text = """$timescale 1ps $end
+$scope module top $end
+$var wire 1 ! sig $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+$end
+#100
+x!
+#250
+"""
+    scan = VcdScan.parse(io.StringIO(text))
+    assert scan.x_intervals("top.sig") == [(100, 250)]
+
+
+def test_parse_errors():
+    with pytest.raises(VcdParseError):
+        VcdScan.parse(io.StringIO("$enddefinitions $end\n1?\n"))
+    with pytest.raises(VcdParseError):
+        VcdScan.parse(io.StringIO("$scope\n"))
+    with pytest.raises(VcdParseError):
+        VcdScan.parse(io.StringIO("$enddefinitions $end\n@bogus\n"))
+
+
+def test_no_x_report():
+    text = """$enddefinitions $end
+"""
+    scan = VcdScan.parse(io.StringIO(text))
+    assert "no X excursions" in scan.corruption_report()
+
+
+def test_scan_full_system_isolation_bug(tmp_path):
+    """End-to-end: the dpr.1 X leak is findable in the dump."""
+    from repro.system import AutoVisionSoftware, AutoVisionSystem, SystemConfig
+
+    config = SystemConfig(
+        width=48, height=32, simb_payload_words=128,
+        faults=frozenset({"dpr.1"}),
+    )
+    system = AutoVisionSystem(config)
+    software = AutoVisionSoftware(system)
+    sim = system.build()
+    vcd_path = tmp_path / "dump.vcd"
+    writer = VcdWriter(open(vcd_path, "w"))
+    writer.trace(
+        system.isolation.out_done, system.isolation.out_io,
+        scope="autovision.isolation",
+    )
+    sim.attach_vcd(writer)
+    sim.fork(software.run(1), "software", owner=software)
+    sim.run_until_event(software.run_complete, timeout=400_000_000)
+    sim.close()
+
+    scan = VcdScan.load(str(vcd_path))
+    hit = scan.first_x()
+    assert hit is not None
+    t, path = hit
+    assert path.startswith("autovision.isolation")
+    # the X window must coincide with a reconfiguration window
+    portal = system.artifacts.portal("video_rr")
+    inject_times = [r.time for r in portal.timeline if r.kind == "inject_start"]
+    swap_times = [r.time for r in portal.timeline if r.kind == "swap"]
+    assert any(lo <= t <= hi for lo, hi in zip(inject_times, swap_times))

@@ -1,0 +1,141 @@
+"""Tests for the ResimBuilder artifact-generation flow."""
+
+import pytest
+
+from repro.bus import PlbBus, PlbMemory
+from repro.core import ModuleSpec, RegionSpec, ResimBuilder, ResimError
+from repro.engines import CensusImageEngine, EngineRegs, MatchingEngine
+from repro.kernel import Clock, MHz, Module, Simulator
+from repro.reconfig import NoopInjector, RRSlot, decode_simb
+from repro.reconfig.injector import XInjector
+
+
+def make_slot(rr_id=0x1, parent=None):
+    top = parent or Module("top")
+    clk = Clock("clk", MHz(100), parent=top)
+    bus = PlbBus("plb", clk, parent=top)
+    mem = PlbMemory("mem", 4096, parent=top)
+    bus.attach_slave(mem, 0, 4096)
+    regs = EngineRegs(f"eregs{rr_id}", base=0x10 * rr_id, parent=top)
+    cie = CensusImageEngine(f"cie{rr_id}", clock=clk, parent=top)
+    me = MatchingEngine(f"me{rr_id}", clock=clk, parent=top)
+    slot = RRSlot(
+        f"rr{rr_id}", rr_id, bus.attach_master(f"rr{rr_id}"), regs,
+        [cie, me], parent=top,
+    )
+    return top, slot
+
+
+def spec(rr_id=0x1, name="video_rr"):
+    return RegionSpec(rr_id, name, [ModuleSpec(0x1, "cie"), ModuleSpec(0x2, "me")])
+
+
+def test_build_generates_artifacts():
+    top, slot = make_slot()
+    builder = ResimBuilder()
+    builder.add_region(spec(), slot)
+    artifacts = builder.build(parent=top)
+    assert artifacts.icap.portals[0x1].slot is slot
+    assert artifacts.portal("video_rr") is artifacts.portal(0x1)
+    assert isinstance(artifacts.injector("video_rr"), XInjector)
+
+
+def test_simb_for_by_names():
+    top, slot = make_slot()
+    builder = ResimBuilder()
+    builder.add_region(spec(), slot)
+    artifacts = builder.build(parent=top)
+    words = artifacts.simb_for("video_rr", "me", payload_words=8)
+    events = decode_simb(words)
+    far = next(e for e in events if e.kind == "far")
+    assert (far.rr_id, far.module_id) == (0x1, 0x2)
+    by_id = artifacts.simb_for(0x1, 0x2, payload_words=8, seed=1)
+    by_name = artifacts.simb_for("video_rr", "me", payload_words=8, seed=1)
+    assert by_id == by_name
+
+
+def test_unknown_region_or_module():
+    top, slot = make_slot()
+    builder = ResimBuilder()
+    builder.add_region(spec(), slot)
+    artifacts = builder.build(parent=top)
+    with pytest.raises(ResimError):
+        artifacts.region("nope")
+    with pytest.raises(ResimError):
+        artifacts.region(0x9)
+    with pytest.raises(KeyError):
+        artifacts.simb_for("video_rr", "nope")
+
+
+def test_spec_slot_id_mismatch_rejected():
+    top, slot = make_slot(rr_id=0x2)
+    builder = ResimBuilder()
+    with pytest.raises(ResimError):
+        builder.add_region(spec(rr_id=0x1), slot)
+
+
+def test_spec_module_set_mismatch_rejected():
+    top, slot = make_slot()
+    bad = RegionSpec(0x1, "rr", [ModuleSpec(0x1, "cie"), ModuleSpec(0x7, "ghost")])
+    builder = ResimBuilder()
+    with pytest.raises(ResimError):
+        builder.add_region(bad, slot)
+
+
+def test_duplicate_region_rejected():
+    top, slot = make_slot()
+    builder = ResimBuilder()
+    builder.add_region(spec(), slot)
+    with pytest.raises(ResimError):
+        builder.add_region(spec(), slot)
+
+
+def test_build_twice_rejected():
+    top, slot = make_slot()
+    builder = ResimBuilder()
+    builder.add_region(spec(), slot)
+    builder.build(parent=top)
+    with pytest.raises(ResimError):
+        builder.build(parent=top)
+    with pytest.raises(ResimError):
+        builder.add_region(spec(rr_id=0x1, name="x"), slot)
+
+
+def test_empty_builder_rejected():
+    with pytest.raises(ResimError):
+        ResimBuilder().build()
+
+
+def test_custom_injector_class():
+    top, slot = make_slot()
+    builder = ResimBuilder()
+    builder.add_region(spec(), slot, injector_cls=NoopInjector)
+    artifacts = builder.build(parent=top)
+    assert isinstance(artifacts.injector("video_rr"), NoopInjector)
+
+
+def test_two_regions_one_icap():
+    """The ICAP artifact dispatches SimBs to the addressed region."""
+    top = Module("top")
+    _, slot1 = make_slot(rr_id=0x1, parent=top)
+    _, slot2 = make_slot(rr_id=0x2, parent=top)
+    builder = ResimBuilder()
+    builder.add_region(spec(0x1, "rr_a"), slot1)
+    builder.add_region(spec(0x2, "rr_b"), slot2)
+    artifacts = builder.build(parent=top)
+    sim = Simulator()
+    sim.add_module(top)
+    slot1.select(0x1)
+    slot2.select(0x1)
+
+    def feed():
+        for w in artifacts.simb_for("rr_b", "me", payload_words=4):
+            artifacts.icap.write_word(w)
+        yield from ()
+
+    sim.fork(feed())
+    sim.run_for(1000)
+    assert slot1.active_id == 0x1  # untouched
+    assert slot2.active_id == 0x2  # reconfigured
+    assert artifacts.portal("rr_b").reconfigurations == 1
+    assert artifacts.portal("rr_a").reconfigurations == 0

@@ -1,0 +1,42 @@
+"""Tests for region/module specifications."""
+
+import pytest
+
+from repro.core import ModuleSpec, RegionSpec
+
+
+def test_module_spec_validation():
+    ModuleSpec(0x1, "cie")
+    with pytest.raises(ValueError):
+        ModuleSpec(0x100, "too-big")
+    with pytest.raises(ValueError):
+        ModuleSpec(1, "")
+
+
+def test_module_spec_frozen():
+    spec = ModuleSpec(0x1, "cie")
+    with pytest.raises(AttributeError):
+        spec.name = "other"
+
+
+def test_region_spec_lookup():
+    spec = RegionSpec(0x1, "rr", [ModuleSpec(1, "cie"), ModuleSpec(2, "me")])
+    assert spec.module_by_name("me").module_id == 2
+    assert spec.module_by_id(1).name == "cie"
+    with pytest.raises(KeyError):
+        spec.module_by_name("nope")
+    with pytest.raises(KeyError):
+        spec.module_by_id(9)
+
+
+def test_region_spec_validation():
+    with pytest.raises(ValueError):
+        RegionSpec(0x1, "rr", [])
+    with pytest.raises(ValueError):
+        RegionSpec(0x1, "", [ModuleSpec(1, "a")])
+    with pytest.raises(ValueError):
+        RegionSpec(0x100, "rr", [ModuleSpec(1, "a")])
+    with pytest.raises(ValueError):
+        RegionSpec(0x1, "rr", [ModuleSpec(1, "a"), ModuleSpec(1, "b")])
+    with pytest.raises(ValueError):
+        RegionSpec(0x1, "rr", [ModuleSpec(1, "a"), ModuleSpec(2, "a")])

@@ -1,0 +1,175 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.cpu import AssemblerError, assemble, decode, disassemble
+
+
+def test_simple_program():
+    prog = assemble(
+        """
+        addi r1, r0, 5
+        addi r2, r0, 7
+        add  r3, r1, r2
+        halt
+        """
+    )
+    assert prog.size_words == 4
+    assert str(decode(prog.words[2])) == "add r3, r1, r2"
+
+
+def test_labels_and_branches():
+    prog = assemble(
+        """
+        start:
+            addi r1, r0, 3
+        loop:
+            addi r1, r1, -1
+            cmpwi r1, 0
+            bne loop
+            b start
+        """
+    )
+    # bne loop: from word 3 back to word 1 -> offset -2
+    assert decode(prog.words[3]).imm == -2
+    # b start: from word 4 back to word 0 -> offset -4
+    assert decode(prog.words[4]).imm == -4
+    assert prog.symbols["loop"] == 4
+
+
+def test_label_on_same_line():
+    prog = assemble("start: nop\n b start")
+    assert prog.symbols["start"] == 0
+
+
+def test_forward_reference():
+    prog = assemble(
+        """
+        b end
+        nop
+        end: halt
+        """
+    )
+    assert decode(prog.words[0]).imm == 2
+
+
+def test_equ_and_word_directives():
+    prog = assemble(
+        """
+        .equ MAGIC, 0xABCD
+        data: .word MAGIC, 2, data
+        """
+    )
+    assert prog.words[0] == 0xABCD
+    assert prog.words[1] == 2
+    assert prog.words[2] == 0  # address of `data` label
+
+
+def test_org_pads_with_nops():
+    prog = assemble(
+        """
+        nop
+        .org 0x10
+        target: halt
+        """
+    )
+    assert prog.size_words == 5
+    assert prog.symbols["target"] == 0x10
+
+
+def test_org_backwards_rejected():
+    with pytest.raises(AssemblerError):
+        assemble("nop\nnop\n.org 0x4\nnop")
+
+
+def test_li_pseudo_short_and_long():
+    prog = assemble("li r3, 42\nli r4, 0x12345678")
+    assert prog.size_words == 4  # li always reserves 2 words
+    assert str(decode(prog.words[0])) == "addi r3, r0, 42"
+    assert decode(prog.words[1]).mnemonic == "nop"
+    assert decode(prog.words[2]).mnemonic == "addis"
+    assert decode(prog.words[3]).mnemonic == "ori"
+
+
+def test_la_pseudo_loads_label_address():
+    prog = assemble(
+        """
+        la r5, buffer
+        halt
+        buffer: .word 0
+        """
+    )
+    assert prog.symbols["buffer"] == 12
+    assert decode(prog.words[0]).mnemonic == "addis"
+    assert decode(prog.words[1]) == decode(prog.words[1])
+    assert decode(prog.words[1]).imm == 12
+
+
+def test_mr_pseudo():
+    prog = assemble("mr r7, r3")
+    i = decode(prog.words[0])
+    assert i.mnemonic == "or" and i.ra == i.rb == 3 and i.rd == 7
+
+
+def test_memory_operand_syntax():
+    prog = assemble(".equ OFF, 8\nlwz r3, OFF(r4)\nstw r3, -4(r1)")
+    assert decode(prog.words[0]).imm == 8
+    assert decode(prog.words[1]).imm == -4
+
+
+def test_branch_aliases():
+    prog = assemble(
+        """
+        loop: cmpwi r1, 0
+        beq loop
+        bdnz loop
+        """
+    )
+    assert decode(prog.words[1]).cond == "eq"
+    assert decode(prog.words[2]).cond == "ctrnz"
+
+
+def test_comments_stripped():
+    prog = assemble("nop # comment\nnop ; another\n# whole line\n")
+    assert prog.size_words == 2
+
+
+def test_errors():
+    with pytest.raises(AssemblerError):
+        assemble("bogus r1, r2")
+    with pytest.raises(AssemblerError):
+        assemble("addi r99, r0, 1")
+    with pytest.raises(AssemblerError):
+        assemble("b nowhere")
+    with pytest.raises(AssemblerError):
+        assemble("dup: nop\ndup: nop")
+    with pytest.raises(AssemblerError):
+        assemble("lwz r1, r2")  # missing d(rA)
+
+
+def test_base_addr_offsets_symbols():
+    prog = assemble("start: b start", base_addr=0x1000)
+    assert prog.symbols["start"] == 0x1000
+    assert decode(prog.words[0]).imm == 0
+
+
+def test_disassemble_listing():
+    prog = assemble("addi r1, r0, 5\nhalt")
+    lines = disassemble(prog.words)
+    assert "addi r1, r0, 5" in lines[0]
+    assert "halt" in lines[1]
+
+
+def test_roundtrip_assemble_disassemble_reassemble():
+    source = """
+        li r3, 1000
+        mtctr r3
+    loop:
+        addi r4, r4, 1
+        bdnz loop
+        halt
+    """
+    prog = assemble(source)
+    listing = disassemble(prog.words)
+    # every emitted word decodes (no .word fallbacks)
+    assert not any(".word" in line for line in listing)

@@ -1,0 +1,67 @@
+"""Tests for PPC-lite encodings."""
+
+import pytest
+
+from repro.cpu import Instruction, decode, encode
+from repro.cpu.isa import BRANCH_CONDS, R_FUNCTS, SYS_FUNCTS
+
+
+class TestEncodeDecode:
+    def test_addi_roundtrip(self):
+        i = Instruction("addi", rd=3, ra=1, imm=-7)
+        assert decode(encode(i)) == i
+
+    def test_all_dform_roundtrip(self):
+        for m in ("addi", "addis", "lwz", "stw", "cmpwi"):
+            i = Instruction(m, rd=31, ra=15, imm=-0x8000)
+            assert decode(encode(i)) == i
+        for m in ("ori", "andi", "xori", "cmplwi", "mfdcr", "mtdcr"):
+            i = Instruction(m, rd=31, ra=15, imm=0xFFFF)
+            assert decode(encode(i)) == i
+
+    def test_all_rform_roundtrip(self):
+        for m in R_FUNCTS:
+            i = Instruction(m, rd=1, ra=2, rb=3)
+            assert decode(encode(i)) == i
+
+    def test_all_sys_roundtrip(self):
+        for m in SYS_FUNCTS:
+            assert decode(encode(Instruction(m))) == Instruction(m)
+
+    def test_branch_roundtrip(self):
+        for m in ("b", "bl"):
+            for off in (-0x200_0000, -1, 0, 1, 0x1FF_FFFF):
+                i = Instruction(m, imm=off)
+                assert decode(encode(i)) == i
+
+    def test_bc_roundtrip(self):
+        for cond in BRANCH_CONDS:
+            i = Instruction("bc", cond=cond, imm=-5)
+            assert decode(encode(i)) == i
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("addi", rd=1, ra=0, imm=0x8000))
+        with pytest.raises(ValueError):
+            encode(Instruction("ori", rd=1, ra=0, imm=-1))
+        with pytest.raises(ValueError):
+            encode(Instruction("b", imm=0x200_0000))
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("add", rd=32, ra=0, rb=0))
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            encode(Instruction("frobnicate"))
+
+    def test_illegal_word_rejected(self):
+        with pytest.raises(ValueError):
+            decode(0xFFFF_FFFF)  # opcode 0x3F... not SYS funct
+        with pytest.raises(ValueError):
+            decode((0x18 << 26) | 0x7FF)  # bad R funct
+
+    def test_str_forms(self):
+        assert str(Instruction("lwz", rd=3, ra=4, imm=8)) == "lwz r3, 8(r4)"
+        assert str(Instruction("add", rd=1, ra=2, rb=3)) == "add r1, r2, r3"
+        assert "bc eq" in str(Instruction("bc", cond="eq", imm=2))

@@ -1,0 +1,77 @@
+"""Shared harness for engine-level tests: a minimal RR socket."""
+
+import numpy as np
+import pytest
+
+from repro.bus import DcrBus, PlbBus, PlbMemory
+from repro.engines import CensusImageEngine, EngineRegs, MatchingEngine
+from repro.kernel import Clock, MHz, Module, Simulator
+from repro.video import FrameSequence, SceneConfig, census_transform, pack_pixels
+
+FRAME_BASE = 0x0000_0000
+FEAT_BASE = 0x0002_0000
+FEAT2_BASE = 0x0004_0000
+VEC_BASE = 0x0006_0000
+MEM_SIZE = 0x0008_0000
+
+
+class EngineBench:
+    """One engine wired straight into a bus + memory + register file."""
+
+    def __init__(self, engine_cls, width=64, height=32):
+        self.sim = Simulator()
+        self.top = Module("top")
+        self.clk = Clock("clk", MHz(100), parent=self.top)
+        self.bus = PlbBus("plb", self.clk, parent=self.top)
+        self.mem = PlbMemory("mem", MEM_SIZE, parent=self.top)
+        self.bus.attach_slave(self.mem, base=0, size=MEM_SIZE)
+        self.dcr = DcrBus("dcr", self.clk, parent=self.top)
+        self.regs = EngineRegs("eregs", base=0x40, parent=self.top)
+        self.dcr.attach(self.regs)
+        self.engine = engine_cls(clock=self.clk, parent=self.top)
+        self.engine.install(self.bus.attach_master("rr"), self.regs)
+        self.regs.on_start(self.engine.trigger_start)
+        self.regs.on_reset(self.engine.reset)
+        self.width, self.height = width, height
+        self.regs.poke("WIDTH", width)
+        self.regs.poke("HEIGHT", height)
+        self.sim.add_module(self.top)
+
+    def program(self, src1, src2, dst):
+        self.regs.poke("SRC1", src1)
+        self.regs.poke("SRC2", src2)
+        self.regs.poke("DST", dst)
+
+    def run_frame(self, reset=True, swap_in=True, timeout_ms=80):
+        """Swap in, optionally reset, start, and run until done."""
+        if swap_in:
+            self.engine.swap_in()
+
+        def kicker():
+            if reset:
+                self.engine.reset()
+            self.engine.trigger_start()
+            yield from ()
+
+        self.sim.fork(kicker())
+        deadline = self.sim.time + timeout_ms * 1_000_000_000 // 1000
+        while self.sim.time < deadline:
+            self.sim.run(until=min(self.sim.time + 200_000, deadline))
+            if self.regs.status_done:
+                return True
+        return False
+
+
+@pytest.fixture
+def scene():
+    return FrameSequence(SceneConfig(width=64, height=32, seed=9))
+
+
+def load_frame(mem, base, frame):
+    mem.load_words(base, pack_pixels(frame.ravel()))
+
+
+def load_features(mem, base, frame):
+    feat = census_transform(frame)
+    mem.load_words(base, pack_pixels(feat.ravel()))
+    return feat

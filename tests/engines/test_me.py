@@ -1,0 +1,123 @@
+"""Tests for the Matching Engine RTL model."""
+
+import numpy as np
+import pytest
+
+from repro.engines import CensusImageEngine, MatchingEngine
+from repro.video import census_transform, match_features, unpack_vector_bytes
+
+from .conftest import (
+    FEAT2_BASE,
+    FEAT_BASE,
+    FRAME_BASE,
+    VEC_BASE,
+    EngineBench,
+    load_features,
+    load_frame,
+)
+
+
+def run_me(scene, reset=True, radius=2):
+    bench = EngineBench(MatchingEngine)
+    f0, f1 = scene.frame(0), scene.frame(1)
+    feat_prev = load_features(bench.mem, FEAT_BASE, f0)
+    feat_curr = load_features(bench.mem, FEAT2_BASE, f1)
+    bench.regs.poke("RADIUS", radius)
+    bench.program(src1=FEAT2_BASE, src2=FEAT_BASE, dst=VEC_BASE)
+    done = bench.run_frame(reset=reset, timeout_ms=160)
+    words = bench.mem.dump_words(VEC_BASE, bench.width * bench.height // 4)
+    dx, dy, valid = unpack_vector_bytes(
+        words, (bench.height, bench.width), radius
+    )
+    return bench, feat_prev, feat_curr, (dx, dy, valid), done
+
+
+def test_me_matches_golden_model(scene):
+    bench, fprev, fcurr, (dx, dy, valid), done = run_me(scene)
+    assert done
+    gdx, gdy, gvalid = match_features(fprev, fcurr, radius=2)
+    assert np.array_equal(valid, gvalid)
+    assert np.array_equal(dx, gdx)
+    assert np.array_equal(dy, gdy)
+    assert not bench.regs.status_error
+
+
+def test_me_radius_one(scene):
+    bench, fprev, fcurr, (dx, dy, valid), done = run_me(scene, radius=1)
+    assert done
+    gdx, gdy, gvalid = match_features(fprev, fcurr, radius=1)
+    assert np.array_equal(dx, gdx)
+    assert np.array_equal(dy, gdy)
+    assert np.array_equal(valid, gvalid)
+
+
+def test_me_takes_longer_than_cie_in_simulated_time(scene):
+    """Table II shape: ME simulated time > CIE simulated time."""
+    me_bench, *_ , me_done = run_me(scene)
+    assert me_done
+
+    cie_bench = EngineBench(CensusImageEngine)
+    load_frame(cie_bench.mem, FRAME_BASE, scene.frame(0))
+    cie_bench.program(FRAME_BASE, 0, FEAT_BASE)
+    assert cie_bench.run_frame()
+    assert me_bench.sim.time > cie_bench.sim.time
+
+
+def test_cie_costs_more_kernel_events_per_simulated_ms(scene):
+    """Table II shape: CIE is more expensive to simulate per unit time."""
+    me_bench, *_, me_done = run_me(scene)
+    cie_bench = EngineBench(CensusImageEngine)
+    load_frame(cie_bench.mem, FRAME_BASE, scene.frame(0))
+    cie_bench.program(FRAME_BASE, 0, FEAT_BASE)
+    assert cie_bench.run_frame()
+    cie_rate = cie_bench.sim.stats.events / cie_bench.sim.time
+    me_rate = me_bench.sim.stats.events / me_bench.sim.time
+    assert cie_rate > me_rate
+
+
+def test_me_unreset_engine_produces_wrong_vectors(scene):
+    bench, fprev, fcurr, (dx, dy, valid), done = run_me(scene, reset=False)
+    assert done
+    assert bench.regs.status_error
+    gdx, gdy, gvalid = match_features(fprev, fcurr, radius=2)
+    assert not np.array_equal(dx, gdx)
+
+
+def test_me_invalid_radius_rejected(scene):
+    bench = EngineBench(MatchingEngine)
+    load_features(bench.mem, FEAT_BASE, scene.frame(0))
+    load_features(bench.mem, FEAT2_BASE, scene.frame(1))
+    bench.regs.poke("RADIUS", 9)
+    bench.program(FEAT2_BASE, FEAT_BASE, VEC_BASE)
+    from repro.kernel import ProcessError
+
+    with pytest.raises(ProcessError):
+        bench.run_frame(timeout_ms=5)
+
+
+def test_me_border_rows_invalid(scene):
+    bench, fprev, fcurr, (dx, dy, valid), done = run_me(scene)
+    assert done
+    assert not valid[:3, :].any()
+    assert not valid[-3:, :].any()
+    assert not valid[:, :3].any()
+    assert not valid[:, -3:].any()
+
+
+def test_me_recovers_object_motion():
+    from repro.video import FrameSequence, SceneConfig, motion_field_error
+
+    single = FrameSequence(
+        SceneConfig(width=64, height=48, n_objects=1, max_speed=2, seed=42)
+    )
+    bench = EngineBench(MatchingEngine, width=64, height=48)
+    fprev = load_features(bench.mem, FEAT_BASE, single.frame(0))
+    fcurr = load_features(bench.mem, FEAT2_BASE, single.frame(1))
+    bench.program(src1=FEAT2_BASE, src2=FEAT_BASE, dst=VEC_BASE)
+    assert bench.run_frame(timeout_ms=240)
+    words = bench.mem.dump_words(VEC_BASE, 64 * 48 // 4)
+    dx, dy, valid = unpack_vector_bytes(words, (48, 64), 2)
+    (expected,) = single.true_motion(0)
+    mask = single.object_mask(1, margin=3)
+    err = motion_field_error(dx, dy, valid, mask, expected)
+    assert err < 0.4, f"motion error {err:.2%} for expected {expected}"

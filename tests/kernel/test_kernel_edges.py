@@ -1,0 +1,311 @@
+"""Edge-case tests for the kernel: clocks, modules, events, signals."""
+
+import pytest
+
+from repro.kernel import (
+    Clock,
+    Edge,
+    ElaborationError,
+    Event,
+    First,
+    MHz,
+    Module,
+    NullTrigger,
+    RisingEdge,
+    Signal,
+    SignalWriteError,
+    Simulator,
+    Timer,
+    xbits,
+)
+
+
+class TestClock:
+    def test_start_high_phase(self):
+        sim = Simulator()
+        clk = Clock("clk", 10_000, start_high=True)
+        sim.add_module(clk)
+        assert clk.out.value == 1
+        sim.run(until=6_000)
+        assert clk.out.value == 0
+
+    def test_odd_period_split(self):
+        sim = Simulator()
+        clk = Clock("clk", 7)  # 3 + 4
+        sim.add_module(clk)
+        edges = []
+
+        def count():
+            for _ in range(4):
+                yield RisingEdge(clk.out)
+                edges.append(sim.time)
+
+        sim.fork(count())
+        sim.run(until=50)
+        assert edges[1] - edges[0] == 7
+
+    def test_cycles_counter(self):
+        sim = Simulator()
+        clk = Clock("clk", MHz(100))
+        sim.add_module(clk)
+        sim.run(until=105_000)
+        assert clk.cycles == 10
+
+    def test_cycles_to_time(self):
+        clk = Clock("clk", MHz(100))
+        assert clk.cycles_to_time(100) == 1_000_000
+
+    def test_tiny_period_rejected(self):
+        with pytest.raises(ValueError):
+            Clock("clk", 1)
+
+
+class TestModule:
+    def test_double_elaboration_same_sim_is_noop(self):
+        sim = Simulator()
+        top = Module("top")
+        sim.add_module(top)
+        top._elaborate(sim)  # idempotent
+
+    def test_elaboration_into_second_sim_rejected(self):
+        sim1, sim2 = Simulator(), Simulator()
+        top = Module("top")
+        sim1.add_module(top)
+        with pytest.raises(ElaborationError):
+            sim2.add_module(top)
+
+    def test_adopting_child_with_other_parent_rejected(self):
+        a, b = Module("a"), Module("b")
+        child = Module("c", parent=a)
+        with pytest.raises(ElaborationError):
+            b.child(child)
+
+    def test_late_child_and_signal_after_elaboration(self):
+        sim = Simulator()
+        top = Module("top")
+        sim.add_module(top)
+        late = Module("late")
+        top.child(late)
+        sig = late.signal("s", 4)
+        assert sig._sim is sim  # bound on creation
+
+    def test_late_process_starts_immediately(self):
+        sim = Simulator()
+        top = Module("top")
+        sim.add_module(top)
+        ran = []
+
+        def proc():
+            ran.append(sim.time)
+            yield Timer(1)
+
+        top.process(lambda: proc(), "late")
+        sim.run_for(100)
+        assert ran == [0]
+
+    def test_iter_tree_depth_first(self):
+        top = Module("t")
+        a = Module("a", parent=top)
+        b = Module("b", parent=a)
+        c = Module("c", parent=top)
+        assert [m.name for m in top.iter_tree()] == ["t", "a", "b", "c"]
+
+
+class TestSignals:
+    def test_width_mismatch_write_rejected(self):
+        sig = Signal("s", 4)
+        with pytest.raises(SignalWriteError):
+            sig.force(0x10)
+
+    def test_wider_vector_with_zero_top_bits_ok(self):
+        from repro.kernel import LV
+
+        sig = Signal("s", 4)
+        sig.force(LV(0x5, 8))  # top bits zero: resizable
+        assert sig.value.to_int() == 5
+
+    def test_negative_int_wraps(self):
+        sig = Signal("s", 8)
+        sig.force(-1)
+        assert sig.value.to_int() == 0xFF
+
+    def test_unelaborated_next_applies_immediately(self):
+        sig = Signal("s", 8)
+        sig.next = 7
+        assert sig.value.to_int() == 7
+
+    def test_monitor_callback(self):
+        sim = Simulator()
+        sig = Signal("s", 8, init=0)
+        sim.register_signal(sig)
+        seen = []
+        sig.add_monitor(lambda s, old, new: seen.append((old.to_int(), new.to_int())))
+
+        def writer():
+            sig.next = 3
+            yield Timer(10)
+            sig.next = 3  # no change: no callback
+            yield Timer(10)
+            sig.next = 5
+
+        sim.fork(writer())
+        sim.run()
+        assert seen == [(0, 3), (3, 5)]
+
+    def test_is_high_is_low_with_x(self):
+        sig = Signal("s", 1)
+        sig.force(xbits(1))
+        assert not sig.is_high and not sig.is_low
+        assert sig.has_x
+
+
+class TestEventsAndTriggers:
+    def test_event_rearm_after_fire(self):
+        sim = Simulator()
+        ev = Event("e")
+        hits = []
+
+        def waiter():
+            for _ in range(3):
+                yield ev.wait()
+                hits.append(sim.time)
+
+        def setter():
+            for t in (10, 20, 30):
+                yield Timer(10)
+                ev.set(sim)
+
+        sim.fork(waiter())
+        sim.fork(setter())
+        sim.run()
+        assert hits == [10, 20, 30]
+        assert ev.fired_count == 3
+
+    def test_first_with_two_timers(self):
+        sim = Simulator()
+        out = []
+
+        def proc():
+            fired = yield First(Timer(100), Timer(50))
+            out.append((sim.time, fired.delay))
+
+        sim.fork(proc())
+        sim.run()
+        assert out == [(50, 50)]
+
+    def test_first_requires_triggers(self):
+        with pytest.raises(ValueError):
+            First()
+
+    def test_null_trigger_same_time(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            for _ in range(3):
+                yield NullTrigger()
+                ticks.append(sim.time)
+
+        sim.fork(proc())
+        sim.run_for(10)
+        assert ticks == [0, 0, 0]
+
+    def test_timer_zero_fires_in_next_step(self):
+        sim = Simulator()
+        out = []
+
+        def proc():
+            yield Timer(0)
+            out.append(sim.time)
+
+        sim.fork(proc())
+        sim.run()
+        assert out == [0]
+
+    def test_negative_timer_rejected(self):
+        with pytest.raises(ValueError):
+            Timer(-1)
+
+    def test_edge_on_vector_fires_on_any_bit(self):
+        sim = Simulator()
+        sig = Signal("s", 8, init=0)
+        sim.register_signal(sig)
+        hits = []
+
+        def watcher():
+            while True:
+                yield Edge(sig)
+                hits.append(sig.value.to_int())
+
+        def writer():
+            for v in (1, 0x80, 0x80, 0xFF):
+                yield Timer(10)
+                sig.next = v
+
+        sim.fork(watcher())
+        sim.fork(writer())
+        sim.run()
+        assert hits == [1, 0x80, 0xFF]
+
+
+class TestSimulatorMisc:
+    def test_finish_stops_run(self):
+        sim = Simulator()
+
+        def proc():
+            while True:
+                yield Timer(10)
+                if sim.time >= 50:
+                    sim.finish()
+
+        sim.fork(proc())
+        sim.run(until=10_000)
+        assert sim.time <= 60
+
+    def test_repr(self):
+        sim = Simulator()
+        assert "Simulator" in repr(sim)
+
+    def test_run_with_no_events_respects_until(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.time == 500
+
+
+class TestKillSemantics:
+    def test_join_on_killed_process_releases_waiter(self):
+        from repro.kernel import Join, Simulator, Timer
+
+        sim = Simulator()
+        released = []
+
+        def victim():
+            yield Timer(1_000_000)
+
+        def parent(child):
+            yield Join(child)
+            released.append(sim.time)
+
+        child = sim.fork(victim(), "victim")
+        sim.fork(parent(child), "parent")
+
+        def killer():
+            yield Timer(50)
+            child.kill()
+
+        sim.fork(killer())
+        sim.run(until=2_000_000)
+        assert released == [50]
+
+    def test_kill_is_idempotent(self):
+        from repro.kernel import Simulator, Timer
+
+        sim = Simulator()
+
+        def victim():
+            yield Timer(100)
+
+        p = sim.fork(victim())
+        p.kill()
+        p.kill()
+        assert p.finished

@@ -1,0 +1,111 @@
+"""Tests for TLM mailboxes."""
+
+import pytest
+
+from repro.kernel import Mailbox, MailboxEmpty, Simulator, Timer
+
+
+def test_try_put_try_get_fifo_order():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m")
+    assert mbox.is_empty
+    for i in range(3):
+        assert mbox.try_put(i)
+    assert [mbox.try_get() for _ in range(3)] == [0, 1, 2]
+    with pytest.raises(MailboxEmpty):
+        mbox.try_get()
+
+
+def test_capacity_limit():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m", capacity=2)
+    assert mbox.try_put(1)
+    assert mbox.try_put(2)
+    assert mbox.is_full
+    assert not mbox.try_put(3)
+    assert len(mbox) == 2
+
+
+def test_blocking_get_waits_for_put():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m")
+    got = []
+
+    def consumer():
+        item = yield from mbox.get()
+        got.append((sim.time, item))
+
+    def producer():
+        yield Timer(100)
+        mbox.try_put("frame")
+
+    sim.fork(consumer())
+    sim.fork(producer())
+    sim.run()
+    assert got == [(100, "frame")]
+
+
+def test_blocking_put_waits_for_space():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m", capacity=1)
+    events = []
+
+    def producer():
+        yield from mbox.put("a")
+        events.append(("put-a", sim.time))
+        yield from mbox.put("b")
+        events.append(("put-b", sim.time))
+
+    def consumer():
+        yield Timer(50)
+        events.append(("got", mbox.try_get(), sim.time))
+        yield Timer(1)
+
+    sim.fork(producer())
+    sim.fork(consumer())
+    sim.run()
+    assert ("put-a", 0) in events
+    assert ("got", "a", 50) in events
+    put_b = [e for e in events if e[0] == "put-b"]
+    assert put_b and put_b[0][1] >= 50
+
+
+def test_peek_does_not_consume():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m")
+    mbox.try_put(7)
+    assert mbox.peek() == 7
+    assert len(mbox) == 1
+
+
+def test_counters():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m")
+    for i in range(5):
+        mbox.try_put(i)
+    for _ in range(3):
+        mbox.try_get()
+    assert mbox.total_put == 5
+    assert mbox.total_got == 3
+
+
+def test_multiple_consumers_each_get_distinct_items():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m")
+    got = []
+
+    def consumer(name):
+        item = yield from mbox.get()
+        got.append((name, item))
+
+    def producer():
+        yield Timer(10)
+        mbox.try_put(1)
+        yield Timer(10)
+        mbox.try_put(2)
+
+    sim.fork(consumer("c1"))
+    sim.fork(consumer("c2"))
+    sim.fork(producer())
+    sim.run()
+    assert sorted(item for _, item in got) == [1, 2]

@@ -1,0 +1,548 @@
+"""Unit tests for the delta-cycle scheduler, processes and triggers."""
+
+import pytest
+
+from repro.kernel import (
+    NS,
+    Clock,
+    DeltaOverflowError,
+    Event,
+    FallingEdge,
+    First,
+    Join,
+    MHz,
+    Module,
+    NullTrigger,
+    ProcessError,
+    RisingEdge,
+    Signal,
+    SimulationError,
+    Simulator,
+    Timer,
+)
+
+
+def test_timer_sequencing():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        log.append(sim.time)
+        yield Timer(10)
+        log.append(sim.time)
+        yield Timer(5)
+        log.append(sim.time)
+
+    sim.fork(proc())
+    sim.run()
+    assert log == [0, 10, 15]
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def a():
+        yield Timer(10)
+        log.append("a10")
+        yield Timer(20)
+        log.append("a30")
+
+    def b():
+        yield Timer(15)
+        log.append("b15")
+        yield Timer(5)
+        log.append("b20")
+
+    sim.fork(a())
+    sim.fork(b())
+    sim.run()
+    assert log == ["a10", "b15", "b20", "a30"]
+
+
+def test_run_until_pauses_and_resumes():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        while True:
+            yield Timer(10)
+            log.append(sim.time)
+
+    sim.fork(proc())
+    sim.run(until=25)
+    assert log == [10, 20]
+    assert sim.time == 25
+    sim.run_for(10)
+    assert log == [10, 20, 30]
+
+
+def test_run_until_past_time_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield Timer(100)
+
+    sim.fork(proc())
+    sim.run(until=50)
+    with pytest.raises(SimulationError):
+        sim.run(until=20)
+
+
+def test_nonblocking_update_semantics():
+    """A write is not visible until the following delta cycle."""
+    sim = Simulator()
+    sig = Signal("s", 8, init=0)
+    sim.register_signal(sig)
+    seen = []
+
+    def writer():
+        sig.next = 42
+        seen.append(sig.value.to_int())  # still old value in same delta
+        yield NullTrigger()
+        seen.append(sig.value.to_int())
+
+    sim.fork(writer())
+    sim.run()
+    assert seen == [0, 42]
+
+
+def test_last_write_wins_within_delta():
+    sim = Simulator()
+    sig = Signal("s", 8, init=0)
+    sim.register_signal(sig)
+
+    def writer():
+        sig.next = 1
+        sig.next = 2
+        yield NullTrigger()
+
+    sim.fork(writer())
+    sim.run()
+    assert sig.value.to_int() == 2
+    assert sig.change_count == 1  # only one committed change
+
+
+def test_rising_edge_trigger():
+    sim = Simulator()
+    sig = Signal("s", 1, init=0)
+    sim.register_signal(sig)
+    hits = []
+
+    def waiter():
+        while True:
+            yield RisingEdge(sig)
+            hits.append(sim.time)
+
+    def driver():
+        yield Timer(10)
+        sig.next = 1
+        yield Timer(10)
+        sig.next = 0
+        yield Timer(10)
+        sig.next = 1
+
+    sim.fork(waiter())
+    sim.fork(driver())
+    sim.run()
+    assert hits == [10, 30]
+
+
+def test_falling_edge_trigger():
+    sim = Simulator()
+    sig = Signal("s", 1, init=1)
+    sim.register_signal(sig)
+    hits = []
+
+    def waiter():
+        yield FallingEdge(sig)
+        hits.append(sim.time)
+
+    def driver():
+        yield Timer(7)
+        sig.next = 0
+
+    sim.fork(waiter())
+    sim.fork(driver())
+    sim.run()
+    assert hits == [7]
+
+
+def test_edge_on_x_transition_counts_as_change_not_rise():
+    """0 -> X must not fire a rising edge; X -> 1 must."""
+    from repro.kernel import xbits
+
+    sim = Simulator()
+    sig = Signal("s", 1, init=0)
+    sim.register_signal(sig)
+    rises = []
+
+    def waiter():
+        while True:
+            yield RisingEdge(sig)
+            rises.append(sim.time)
+
+    def driver():
+        yield Timer(10)
+        sig.next = xbits(1)
+        yield Timer(10)
+        sig.next = 1
+
+    sim.fork(waiter())
+    sim.fork(driver())
+    sim.run()
+    assert rises == [20]
+
+
+def test_no_spurious_trigger_on_equal_write():
+    sim = Simulator()
+    sig = Signal("s", 1, init=0)
+    sim.register_signal(sig)
+    hits = []
+
+    def waiter():
+        while True:
+            yield RisingEdge(sig)
+            hits.append(sim.time)
+
+    def driver():
+        yield Timer(10)
+        sig.next = 0  # no change
+        yield Timer(10)
+        sig.next = 1
+
+    sim.fork(waiter())
+    sim.fork(driver())
+    sim.run()
+    assert hits == [20]
+    assert sig.change_count == 1
+
+
+def test_first_trigger_timeout_path():
+    sim = Simulator()
+    sig = Signal("irq", 1, init=0)
+    sim.register_signal(sig)
+    outcome = []
+
+    def waiter():
+        fired = yield First(RisingEdge(sig), Timer(100))
+        outcome.append(type(fired).__name__)
+
+    sim.fork(waiter())
+    sim.run()
+    assert outcome == ["Timer"]
+
+
+def test_first_trigger_edge_path():
+    sim = Simulator()
+    sig = Signal("irq", 1, init=0)
+    sim.register_signal(sig)
+    outcome = []
+
+    def waiter():
+        fired = yield First(RisingEdge(sig), Timer(100))
+        outcome.append(type(fired).__name__)
+        outcome.append(sim.time)
+
+    def driver():
+        yield Timer(30)
+        sig.next = 1
+
+    sim.fork(waiter())
+    sim.fork(driver())
+    sim.run()
+    assert outcome == ["RisingEdge", 30]
+
+
+def test_first_does_not_leak_edge_waiters():
+    """Losing edge triggers must be disarmed (polling-loop hygiene)."""
+    sim = Simulator()
+    sig = Signal("irq", 1, init=0)
+    sim.register_signal(sig)
+
+    def waiter():
+        for _ in range(50):
+            yield First(RisingEdge(sig), Timer(10))
+
+    sim.fork(waiter())
+    sim.run()
+    assert len(sig._edge_waiters["rise"]) == 0
+
+
+def test_join_and_fork_result():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Timer(25)
+        return 99
+
+    def parent():
+        proc = sim.fork(child(), "child")
+        yield Join(proc)
+        results.append((sim.time, proc.result))
+
+    sim.fork(parent())
+    sim.run()
+    assert results == [(25, 99)]
+
+
+def test_yield_process_implies_join():
+    sim = Simulator()
+    done = []
+
+    def child():
+        yield Timer(5)
+
+    def parent():
+        yield sim.fork(child(), "child")
+        done.append(sim.time)
+
+    sim.fork(parent())
+    sim.run()
+    assert done == [5]
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    done = []
+
+    def child():
+        return 7
+        yield  # pragma: no cover
+
+    def parent():
+        proc = sim.fork(child(), "child")
+        yield Timer(10)
+        yield Join(proc)
+        done.append(proc.result)
+
+    sim.fork(parent())
+    sim.run()
+    assert done == [7]
+
+
+def test_event_wait_and_set():
+    sim = Simulator()
+    ev = Event("go")
+    log = []
+
+    def waiter():
+        yield ev.wait()
+        log.append(("woke", sim.time, ev.data))
+
+    def setter():
+        yield Timer(40)
+        ev.set(sim, data="payload")
+
+    sim.fork(waiter())
+    sim.fork(setter())
+    sim.run()
+    assert log == [("woke", 40, "payload")]
+
+
+def test_event_wakes_all_waiters():
+    sim = Simulator()
+    ev = Event("go")
+    woke = []
+
+    def waiter(i):
+        yield ev.wait()
+        woke.append(i)
+
+    for i in range(3):
+        sim.fork(waiter(i))
+
+    def setter():
+        yield Timer(1)
+        ev.set(sim)
+
+    sim.fork(setter())
+    sim.run()
+    assert sorted(woke) == [0, 1, 2]
+
+
+def test_run_until_event():
+    sim = Simulator()
+    ev = Event("done")
+
+    def proc():
+        yield Timer(500)
+        ev.set(sim)
+        yield Timer(500)
+
+    sim.fork(proc())
+    assert sim.run_until_event(ev, timeout=1000)
+    assert sim.time == 500
+
+
+def test_run_until_event_timeout():
+    sim = Simulator()
+    ev = Event("never")
+
+    def proc():
+        while True:
+            yield Timer(100)
+
+    sim.fork(proc())
+    assert not sim.run_until_event(ev, timeout=1000)
+    assert sim.time == 1000
+
+
+def test_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad():
+        yield Timer(10)
+        raise ValueError("boom")
+
+    sim.fork(bad(), "bad")
+    with pytest.raises(ProcessError) as exc_info:
+        sim.run()
+    assert isinstance(exc_info.value.original, ValueError)
+
+
+def test_process_yield_garbage_is_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.fork(bad(), "bad")
+    with pytest.raises(ProcessError):
+        sim.run()
+
+
+def test_process_kill():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        while True:
+            yield Timer(10)
+            log.append(sim.time)
+
+    def killer(proc):
+        yield Timer(35)
+        proc.kill()
+
+    p = sim.fork(victim())
+    sim.fork(killer(p))
+    sim.run()
+    assert log == [10, 20, 30]
+    assert p.finished
+
+
+def test_delta_overflow_detection():
+    """A zero-delay combinational loop must be caught, not spin forever."""
+    from repro.kernel import Edge
+
+    sim = Simulator()
+    x = Signal("x", 1, init=0)
+    sim.register_signal(x)
+
+    def oscillate():
+        while True:
+            yield Edge(x)
+            x.next = 0 if x.value.to_int() else 1
+
+    def kick():
+        x.next = 1
+        yield Timer(1)
+
+    sim.fork(oscillate())
+    sim.fork(kick())
+    with pytest.raises(DeltaOverflowError):
+        sim.run()
+
+
+def test_clock_cycles_and_frequency():
+    sim = Simulator()
+    clk = Clock("clk100", period=MHz(100))
+    sim.add_module(clk)
+    assert clk.frequency_mhz == pytest.approx(100.0)
+    edges = []
+
+    def counter():
+        while True:
+            yield RisingEdge(clk.out)
+            edges.append(sim.time)
+
+    sim.fork(counter())
+    sim.run(until=100_000)  # 100ns = 10 cycles at 100MHz
+    assert len(edges) == 10
+    # edges evenly spaced by the period
+    assert edges[1] - edges[0] == MHz(100)
+
+
+def test_activity_accounting_by_owner():
+    sim = Simulator()
+    top = Module("top")
+    busy = Module("busy", parent=top)
+    idle = Module("idle", parent=top)
+    sig_busy = busy.signal("s", 8)
+    sig_idle = idle.signal("s", 8)
+
+    def busy_proc():
+        for i in range(100):
+            sig_busy.next = i
+            yield Timer(10)
+
+    def idle_proc():
+        sig_idle.next = 1
+        yield Timer(1000)
+
+    busy.process(lambda: busy_proc(), "busy")
+    idle.process(lambda: idle_proc(), "idle")
+    sim.add_module(top)
+    sim.run()
+    assert busy.activity()["events"] > idle.activity()["events"]
+    assert top.activity()["events"] == (
+        busy.activity()["events"] + idle.activity()["events"]
+    )
+
+
+def test_stats_snapshot_delta():
+    sim = Simulator()
+    sig = Signal("s", 8, init=0)
+    sim.register_signal(sig)
+
+    def proc():
+        for i in range(10):
+            sig.next = i + 1
+            yield Timer(10)
+
+    sim.fork(proc())
+    sim.run(until=45)
+    snap = sim.stats.snapshot()
+    sim.run()
+    diff = sim.stats.delta_from(snap)
+    assert diff.value_changes == 10 - snap.value_changes
+    assert diff.events > 0
+
+
+def test_module_hierarchy_paths_and_find():
+    top = Module("top")
+    a = Module("a", parent=top)
+    b = Module("b", parent=a)
+    assert b.path == "top.a.b"
+    assert top.find("a.b") is b
+    with pytest.raises(KeyError):
+        top.find("a.c")
+
+
+def test_signal_force_bypasses_triggers():
+    sim = Simulator()
+    sig = Signal("s", 1, init=0)
+    sim.register_signal(sig)
+    hits = []
+
+    def waiter():
+        yield RisingEdge(sig)
+        hits.append(sim.time)
+
+    sim.fork(waiter())
+    sig.force(1)
+    sim.run_for(100)
+    assert hits == []
+    assert sig.value == 1

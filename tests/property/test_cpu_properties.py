@@ -1,0 +1,89 @@
+"""Property-based tests of the PPC-lite ISA and assembler."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.cpu import Instruction, assemble, decode, encode
+from repro.cpu.isa import BRANCH_CONDS, R_FUNCTS, SYS_FUNCTS
+
+regs = st.integers(0, 31)
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["d_signed", "d_unsigned", "r", "sys", "b", "bc"]))
+    if kind == "d_signed":
+        m = draw(st.sampled_from(["addi", "addis", "lwz", "stw", "cmpwi"]))
+        return Instruction(
+            m, rd=draw(regs), ra=draw(regs),
+            imm=draw(st.integers(-0x8000, 0x7FFF)),
+        )
+    if kind == "d_unsigned":
+        m = draw(st.sampled_from(["ori", "andi", "xori", "cmplwi", "mfdcr", "mtdcr"]))
+        return Instruction(
+            m, rd=draw(regs), ra=draw(regs), imm=draw(st.integers(0, 0xFFFF))
+        )
+    if kind == "r":
+        m = draw(st.sampled_from(sorted(R_FUNCTS)))
+        return Instruction(m, rd=draw(regs), ra=draw(regs), rb=draw(regs))
+    if kind == "sys":
+        return Instruction(draw(st.sampled_from(sorted(SYS_FUNCTS))))
+    if kind == "b":
+        return Instruction(
+            draw(st.sampled_from(["b", "bl"])),
+            imm=draw(st.integers(-0x200_0000, 0x1FF_FFFF)),
+        )
+    return Instruction(
+        "bc",
+        cond=draw(st.sampled_from(sorted(BRANCH_CONDS))),
+        imm=draw(st.integers(-0x8000, 0x7FFF)),
+    )
+
+
+@given(instructions())
+def test_encode_decode_roundtrip(inst):
+    assert decode(encode(inst)) == inst
+
+
+@given(instructions())
+def test_encoding_is_32_bits(inst):
+    word = encode(inst)
+    assert 0 <= word < (1 << 32)
+
+
+@given(st.lists(instructions(), min_size=1, max_size=40))
+def test_distinct_instructions_encode_distinctly(insts):
+    by_word = {}
+    for inst in insts:
+        word = encode(inst)
+        if word in by_word:
+            assert by_word[word] == inst
+        by_word[word] = inst
+
+
+@given(st.integers(-0x8000, 0x7FFF), st.integers(0, 31))
+def test_li_assembles_any_small_value(value, rd):
+    prog = assemble(f"li r{rd}, {value}")
+    assert decode(prog.words[0]).imm == value
+
+
+@given(st.integers(0, 0xFFFF_FFFF))
+def test_li_la_agree_on_any_word(value):
+    """li and la of the same 32-bit value produce the same register."""
+    from repro.cpu.assembler import Program
+
+    prog = assemble(f"la r3, {value}")
+    addis, ori = decode(prog.words[0]), decode(prog.words[1])
+    rebuilt = ((addis.imm << 16) + ori.imm) & 0xFFFF_FFFF
+    assert rebuilt == value
+
+
+@given(st.lists(st.sampled_from(["nop", "sync", "halt"]), min_size=1, max_size=20))
+def test_assemble_disassemble_stable(mnemonics):
+    from repro.cpu import disassemble
+
+    prog = assemble("\n".join(mnemonics))
+    listing = disassemble(prog.words)
+    assert len(listing) == len(mnemonics)
+    for line, m in zip(listing, mnemonics):
+        assert m in line

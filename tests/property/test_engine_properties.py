@@ -1,0 +1,54 @@
+"""Property-based tests: the RTL engines equal the golden models on
+random frames, not just the standard synthetic scene."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.engines import CensusImageEngine, MatchingEngine
+from repro.video import census_transform, match_features, unpack_pixels, unpack_vector_bytes
+
+from repro.video import pack_pixels
+
+from ..engines.conftest import (
+    FEAT2_BASE,
+    FEAT_BASE,
+    FRAME_BASE,
+    VEC_BASE,
+    EngineBench,
+)
+
+
+random_frames = arrays(
+    np.uint8, (16, 24), elements=st.integers(0, 255)
+)
+
+
+@given(random_frames)
+@settings(max_examples=6, deadline=None)
+def test_cie_equals_golden_on_random_frames(frame):
+    bench = EngineBench(CensusImageEngine, width=24, height=16)
+    bench.mem.load_words(FRAME_BASE, pack_pixels(frame.ravel()))
+    bench.program(FRAME_BASE, 0, FEAT_BASE)
+    assert bench.run_frame(timeout_ms=40)
+    feat = unpack_pixels(bench.mem.dump_words(FEAT_BASE, 24 * 16 // 4))
+    assert np.array_equal(feat.reshape(16, 24), census_transform(frame))
+
+
+@given(random_frames, random_frames)
+@settings(max_examples=4, deadline=None)
+def test_me_equals_golden_on_random_feature_pairs(a, b):
+    fprev = census_transform(a)
+    fcurr = census_transform(b)
+    bench = EngineBench(MatchingEngine, width=24, height=16)
+    bench.mem.load_words(FEAT_BASE, pack_pixels(fprev.ravel()))
+    bench.mem.load_words(FEAT2_BASE, pack_pixels(fcurr.ravel()))
+    bench.program(src1=FEAT2_BASE, src2=FEAT_BASE, dst=VEC_BASE)
+    assert bench.run_frame(timeout_ms=80)
+    words = bench.mem.dump_words(VEC_BASE, 24 * 16 // 4)
+    dx, dy, valid = unpack_vector_bytes(words, (16, 24), 2)
+    gdx, gdy, gvalid = match_features(fprev, fcurr, radius=2)
+    assert np.array_equal(valid, gvalid)
+    assert np.array_equal(dx, gdx)
+    assert np.array_equal(dy, gdy)

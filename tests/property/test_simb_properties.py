@@ -1,0 +1,94 @@
+"""Property-based tests of the SimB format and parser."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.reconfig import SimBParser, build_simb, decode_simb, far_decode, far_encode
+from repro.reconfig.simb import simb_header_words
+
+ids = st.integers(0, 0xFF)
+payloads = st.integers(1, 512)
+
+
+@given(ids, ids)
+def test_far_roundtrip(rr, mod):
+    assert far_decode(far_encode(rr, mod)) == (rr, mod)
+
+
+@given(ids, ids, payloads)
+def test_simb_decodes_to_canonical_events(rr, mod, payload):
+    events = decode_simb(build_simb(rr, mod, payload))
+    kinds = [e.kind for e in events]
+    assert kinds[0] == "sync"
+    assert kinds[-1] == "desync"
+    assert kinds.count("far") == 1
+    assert kinds.count("payload_start") == 1
+    assert kinds.count("payload_end") == 1
+    assert kinds.count("payload") == payload
+    far = next(e for e in events if e.kind == "far")
+    assert (far.rr_id, far.module_id) == (rr, mod)
+
+
+@given(ids, ids, payloads)
+def test_simb_length_formula(rr, mod, payload):
+    words = build_simb(rr, mod, payload)
+    assert len(words) == simb_header_words() + payload + 2
+
+
+@given(ids, ids, payloads, st.integers(0, 4))
+def test_leading_noops_preserved(rr, mod, payload, noops):
+    words = build_simb(rr, mod, payload, leading_noops=noops)
+    events = decode_simb(words)
+    assert sum(1 for e in events if e.kind == "noop") == noops
+
+
+@given(st.lists(st.tuples(ids, ids, st.integers(1, 64)), min_size=1, max_size=5))
+def test_concatenated_simbs_all_complete(loads):
+    """Back-to-back SimBs (intra-frame reconfiguration streams)."""
+    stream = []
+    for rr, mod, payload in loads:
+        stream += build_simb(rr, mod, payload)
+    parser = SimBParser()
+    for w in stream:
+        parser.push(w)
+    assert parser.completed_loads == [(rr, mod) for rr, mod, _ in loads]
+    assert not parser.mid_reconfiguration
+
+
+@given(ids, ids, payloads, st.data())
+def test_truncation_never_completes_a_load(rr, mod, payload, data):
+    """Any strict prefix that cuts into/after FDRI cannot finish the load
+    (the bug.dpr.5 silent-failure property)."""
+    words = build_simb(rr, mod, payload)
+    cut = data.draw(st.integers(1, len(words) - 1))
+    parser = SimBParser()
+    for w in words[:cut]:
+        parser.push(w)
+    payload_end_index = simb_header_words() + payload - 1
+    if cut <= payload_end_index:
+        assert parser.completed_loads == []
+    else:
+        assert parser.completed_loads == [(rr, mod)]
+
+
+@given(st.lists(st.integers(0, 0xFFFF_FFFF), max_size=50))
+def test_random_words_before_sync_are_inert(junk):
+    """Anything that is not the SYNC word is ignored in IDLE state."""
+    parser = SimBParser()
+    for w in junk:
+        if w == 0xAA995566:
+            continue
+        events = parser.push(w)
+        assert events == []
+    assert not parser.mid_reconfiguration
+    assert parser.completed_loads == []
+
+
+@given(ids, ids, payloads, st.integers(0, 2**32 - 1))
+def test_payload_content_is_opaque(rr, mod, payload, overwrite):
+    """Parser behaviour is independent of payload word values."""
+    words = build_simb(rr, mod, payload)
+    start = simb_header_words()
+    words[start] = overwrite
+    events = decode_simb(words)
+    assert sum(1 for e in events if e.kind == "payload_end") == 1

@@ -1,0 +1,188 @@
+"""Tests for the SimB format and parser (Table I)."""
+
+import pytest
+
+from repro.reconfig import (
+    DESYNC_CMD,
+    NOOP,
+    SYNC_WORD,
+    TYPE1_WRITE_CMD,
+    TYPE1_WRITE_FAR,
+    TYPE2_WRITE_FDRI,
+    WCFG_CMD,
+    SimBError,
+    SimBParser,
+    build_simb,
+    decode_simb,
+    far_decode,
+    far_encode,
+)
+from repro.reconfig.simb import simb_header_words
+
+
+class TestFar:
+    def test_table1_example(self):
+        """Table I: FA=0x01020000 selects module 0x02 in region 0x01."""
+        assert far_encode(0x01, 0x02) == 0x01020000
+        assert far_decode(0x01020000) == (0x01, 0x02)
+
+    def test_roundtrip(self):
+        for rr in (0, 1, 0xFF):
+            for mod in (0, 2, 0xFF):
+                assert far_decode(far_encode(rr, mod)) == (rr, mod)
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            far_encode(0x100, 0)
+        with pytest.raises(ValueError):
+            far_encode(0, -1)
+
+
+class TestBuild:
+    def test_table1_word_sequence(self):
+        """The exact SimB of Table I (4 payload words)."""
+        words = build_simb(0x1, 0x2, payload_words=4)
+        assert words[0] == 0xAA995566  # SYNC
+        assert words[1] == 0x20000000  # NOP
+        assert words[2] == 0x30002001  # Type 1 Write FAR
+        assert words[3] == 0x01020000  # FA
+        assert words[4] == 0x30008001  # Type 1 Write CMD
+        assert words[5] == 0x00000001  # WCFG
+        assert words[6] == 0x30004000  # Type 2 Write FDRI
+        assert words[7] == 0x50000004  # size = 4
+        assert len(words[8:12]) == 4  # random payload
+        assert words[12] == 0x30008001  # Type 1 Write CMD
+        assert words[13] == 0x0000000D  # DESYNC
+        assert len(words) == 14
+
+    def test_length_is_header_plus_payload_plus_trailer(self):
+        words = build_simb(1, 2, payload_words=100)
+        assert len(words) == simb_header_words() + 100 + 2
+
+    def test_payload_deterministic_by_seed(self):
+        a = build_simb(1, 2, 16, seed=5)
+        b = build_simb(1, 2, 16, seed=5)
+        c = build_simb(1, 2, 16, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_payload_must_be_positive(self):
+        with pytest.raises(ValueError):
+            build_simb(1, 2, payload_words=0)
+
+    def test_designer_chooses_length(self):
+        short = build_simb(1, 2, payload_words=100)
+        real = build_simb(1, 2, payload_words=129 * 1024)
+        assert len(real) - len(short) == 129 * 1024 - 100
+
+
+class TestParser:
+    def test_decode_complete_simb(self):
+        words = build_simb(0x1, 0x2, payload_words=4)
+        events = decode_simb(words)
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "sync"
+        assert "far" in kinds
+        assert "wcfg" in kinds
+        assert "fdri" in kinds
+        assert kinds[-1] == "desync"
+        far = next(e for e in events if e.kind == "far")
+        assert (far.rr_id, far.module_id) == (0x1, 0x2)
+
+    def test_payload_start_and_end_markers(self):
+        """Word 0 starts error injection; last word triggers swap."""
+        words = build_simb(0x1, 0x2, payload_words=4)
+        events = decode_simb(words)
+        starts = [e for e in events if e.kind == "payload_start"]
+        ends = [e for e in events if e.kind == "payload_end"]
+        assert len(starts) == 1 and len(ends) == 1
+        payload_first = simb_header_words()
+        assert starts[0].word_index == payload_first
+        assert ends[0].word_index == payload_first + 3
+
+    def test_words_before_sync_ignored(self):
+        parser = SimBParser()
+        assert parser.push(0x12345678) == []
+        assert parser.push(0) == []
+        events = parser.push(SYNC_WORD)
+        assert events[0].kind == "sync"
+
+    def test_mid_reconfiguration_flag(self):
+        parser = SimBParser()
+        words = build_simb(1, 2, payload_words=4)
+        for w in words[:-1]:
+            parser.push(w)
+        assert parser.mid_reconfiguration
+        parser.push(words[-1])
+        assert not parser.mid_reconfiguration
+
+    def test_completed_loads_recorded(self):
+        parser = SimBParser()
+        for w in build_simb(1, 2, 4) + build_simb(1, 1, 4):
+            parser.push(w)
+        assert parser.completed_loads == [(1, 2), (1, 1)]
+
+    def test_garbage_after_sync_raises(self):
+        parser = SimBParser()
+        parser.push(SYNC_WORD)
+        with pytest.raises(SimBError):
+            parser.push(0xDEADBEEF)
+
+    def test_truncated_transfer_fails_silently(self):
+        """bug.dpr.5 mechanism: a short transfer swallows the trailer as
+        payload, never swaps, and leaves the port mid-reconfiguration."""
+        words = build_simb(1, 2, payload_words=8)
+        parser = SimBParser()
+        events = []
+        # driver transfers only a quarter of the stream
+        for w in words[: len(words) // 4]:
+            events.extend(parser.push(w))
+        assert parser.mid_reconfiguration
+        assert not any(e.kind == "payload_end" for e in events)
+        assert parser.completed_loads == []
+
+    def test_fdri_before_far_raises(self):
+        parser = SimBParser()
+        parser.push(SYNC_WORD)
+        parser.push(TYPE2_WRITE_FDRI)
+        with pytest.raises(SimBError):
+            parser.push(0x50000004)
+
+    def test_fdri_before_wcfg_raises(self):
+        parser = SimBParser()
+        parser.push(SYNC_WORD)
+        parser.push(TYPE1_WRITE_FAR)
+        parser.push(far_encode(1, 2))
+        parser.push(TYPE2_WRITE_FDRI)
+        with pytest.raises(SimBError):
+            parser.push(0x50000004)
+
+    def test_bad_type2_length_tag_raises(self):
+        parser = SimBParser()
+        parser.push(SYNC_WORD)
+        parser.push(TYPE1_WRITE_FAR)
+        parser.push(far_encode(1, 2))
+        parser.push(TYPE1_WRITE_CMD)
+        parser.push(WCFG_CMD)
+        parser.push(TYPE2_WRITE_FDRI)
+        with pytest.raises(SimBError):
+            parser.push(0x60000004)
+
+    def test_unknown_cmd_raises(self):
+        parser = SimBParser()
+        parser.push(SYNC_WORD)
+        parser.push(TYPE1_WRITE_CMD)
+        with pytest.raises(SimBError):
+            parser.push(0x42)
+
+    def test_incomplete_simb_detected_by_decode(self):
+        words = build_simb(1, 2, 4)[:-2]
+        with pytest.raises(SimBError):
+            decode_simb(words)
+
+    def test_back_to_back_simbs_intra_frame(self):
+        """Two reconfigurations per frame: CIE -> ME -> CIE."""
+        stream = build_simb(1, 2, 16, seed=1) + build_simb(1, 1, 16, seed=2)
+        events = decode_simb(stream)
+        swaps = [e for e in events if e.kind == "payload_end"]
+        assert [(e.rr_id, e.module_id) for e in swaps] == [(1, 2), (1, 1)]

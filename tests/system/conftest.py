@@ -1,0 +1,28 @@
+"""Shared fixtures for system-level tests.
+
+System runs are the slowest tests in the suite, so the default test
+geometry is small (48x32) and clean-run results are cached per session.
+"""
+
+import pytest
+
+from repro.system import SystemConfig
+from repro.verif import run_system
+
+SMALL = dict(width=48, height=32, simb_payload_words=128)
+
+
+def small_config(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+@pytest.fixture(scope="session")
+def clean_resim_run():
+    return run_system(small_config(method="resim"), n_frames=2)
+
+
+@pytest.fixture(scope="session")
+def clean_vmux_run():
+    return run_system(small_config(method="vmux"), n_frames=2)

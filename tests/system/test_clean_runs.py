@@ -1,0 +1,66 @@
+"""End-to-end behaviour of the fault-free demonstrator."""
+
+import pytest
+
+from repro.verif import run_system
+
+from .conftest import small_config
+
+
+def test_clean_resim_run_passes(clean_resim_run):
+    res = clean_resim_run
+    assert not res.detected, res.anomalies
+    assert res.frames_drawn == 2
+    assert all(c.ok for c in res.checks)
+
+
+def test_clean_vmux_run_passes(clean_vmux_run):
+    res = clean_vmux_run
+    assert not res.detected, res.anomalies
+    assert res.frames_drawn == 2
+
+
+def test_clean_resim_monitors_all_zero(clean_resim_run):
+    for name, count in clean_resim_run.monitors.items():
+        assert count == 0, f"monitor {name} = {count} on a clean run"
+
+
+def test_resim_and_vmux_produce_identical_frame_data():
+    """Functionally, both simulation methods compute the same frames."""
+    resim = run_system(small_config(method="resim"), n_frames=1)
+    vmux = run_system(small_config(method="vmux"), n_frames=1)
+    assert not resim.detected and not vmux.detected
+    assert len(resim.checks) == len(vmux.checks) == 1
+    assert resim.checks[0].ok and vmux.checks[0].ok
+
+
+def test_resim_run_takes_longer_simulated_time_than_vmux():
+    """ReSim models the real (non-zero) reconfiguration delay."""
+    resim = run_system(small_config(method="resim"), n_frames=1)
+    vmux = run_system(small_config(method="vmux"), n_frames=1)
+    assert resim.sim_time_ps > vmux.sim_time_ps
+
+
+def test_backdoor_video_mode_matches_bus_mode():
+    bus_mode = run_system(small_config(), n_frames=1)
+    backdoor = run_system(small_config(video_backdoor=True), n_frames=1)
+    assert not bus_mode.detected and not backdoor.detected
+    # backdoor mode removes camera bus traffic, so it is faster
+    assert backdoor.sim_time_ps < bus_mode.sim_time_ps
+
+
+def test_multi_frame_run():
+    res = run_system(small_config(), n_frames=4)
+    assert not res.detected, res.anomalies
+    assert res.frames_drawn == 4
+    assert [c.frame for c in res.checks] == [0, 1, 2, 3]
+
+
+def test_invalid_method_rejected():
+    with pytest.raises(ValueError):
+        small_config(method="chipscope")
+
+
+def test_unknown_fault_key_rejected():
+    with pytest.raises(KeyError):
+        run_system(small_config(faults=frozenset({"dpr.99"})), n_frames=1)

@@ -1,0 +1,45 @@
+"""Tests for named scenarios."""
+
+import pytest
+
+from repro.system import SCENARIOS, SystemConfig, scenario, scenario_names
+
+
+def test_all_scenarios_are_valid_configs():
+    for name in scenario_names():
+        cfg = scenario(name)
+        assert isinstance(cfg, SystemConfig)
+        cfg.scene()  # geometry must be valid
+
+
+def test_scenario_overrides():
+    cfg = scenario("tiny", method="vmux", faults=frozenset({"dpr.4"}))
+    assert cfg.method == "vmux"
+    assert cfg.faults == frozenset({"dpr.4"})
+    # the base is untouched
+    assert SCENARIOS["tiny"].method == "resim"
+
+
+def test_unknown_scenario():
+    with pytest.raises(KeyError):
+        scenario("nope")
+
+
+def test_paper_scenarios_match_the_paper():
+    paper = scenario("paper")
+    assert (paper.width, paper.height) == (320, 240)
+    assert paper.simb_payload_words == 4096
+    accurate = scenario("paper-bitstream-accurate")
+    assert accurate.simb_payload_words == 129 * 1024
+
+
+def test_original_clocking_is_fast():
+    assert scenario("original-clocking").cfg_mhz == 100.0
+    assert scenario("scaled").cfg_mhz == 50.0
+
+
+def test_tiny_scenario_runs():
+    from repro.verif import run_system
+
+    res = run_system(scenario("tiny"), n_frames=1)
+    assert not res.detected

@@ -1,0 +1,72 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_scenarios_command(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "tiny" in out and "paper" in out
+
+
+def test_run_clean_exits_zero(capsys):
+    code = main(["run", "--scenario", "tiny", "--frames", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+
+
+def test_run_with_fault_exits_nonzero(capsys):
+    code = main(["run", "--scenario", "tiny", "--frames", "1",
+                 "--fault", "dpr.4"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+
+
+def test_bugs_list(capsys):
+    assert main(["bugs"]) == 0
+    out = capsys.readouterr().out
+    assert "dpr.6b" in out and "hw.2" in out
+
+
+def test_bugs_inject(capsys):
+    code = main(["bugs", "dpr.4", "--scenario", "tiny", "--frames", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[vmux ] missed" in out
+    assert "[resim] DETECTED" in out
+
+
+def test_bugs_unknown_key(capsys):
+    assert main(["bugs", "bogus"]) == 2
+
+
+def test_profile_command(capsys):
+    code = main(["profile", "--scenario", "tiny"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "CensusImg Engine" in out and "Overall" in out
+
+
+def test_coverage_command(capsys):
+    code = main(["coverage", "--scenario", "tiny", "--frames", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "DPR coverage:" in out
+
+
+def test_timeline_command(capsys):
+    assert main(["timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "Week" in out and "resim" in out
+
+
+def test_method_override(capsys):
+    code = main(["run", "--scenario", "tiny", "--method", "vmux",
+                 "--frames", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[vmux]" in out

@@ -1,0 +1,80 @@
+"""Every shipped example must run to completion (no bit-rot)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "state_migration.py",
+]
+
+SLOW_EXAMPLES = [
+    "optical_flow_demo.py",
+    "bug_hunt.py",
+    "iss_firmware_demo.py",
+    "waveform_debug.py",
+    "custom_error_injection.py",
+]
+
+
+def run_example(name: str, args=(), cwd=None) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=cwd,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name, tmp_path):
+    result = run_example(name, cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout
+
+
+def test_optical_flow_demo_passes(tmp_path):
+    result = run_example("optical_flow_demo.py", ["1"], cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "PASS" in result.stdout
+
+
+def test_bug_hunt_lists_and_hunts(tmp_path):
+    listing = run_example("bug_hunt.py", ["--list"], cwd=tmp_path)
+    assert listing.returncode == 0
+    assert "dpr.6b" in listing.stdout
+    hunt = run_example("bug_hunt.py", ["dpr.4"], cwd=tmp_path)
+    assert hunt.returncode == 0, hunt.stderr
+    assert "DETECTED" in hunt.stdout and "missed" in hunt.stdout
+
+
+def test_bug_hunt_unknown_key(tmp_path):
+    result = run_example("bug_hunt.py", ["bogus"], cwd=tmp_path)
+    assert result.returncode == 2
+
+
+def test_iss_firmware_demo(tmp_path):
+    result = run_example("iss_firmware_demo.py", cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "MATCH" in result.stdout
+
+
+def test_waveform_debug_writes_vcd(tmp_path):
+    out = tmp_path / "dbg.vcd"
+    result = run_example("waveform_debug.py", [str(out)], cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert out.exists()
+    assert "first X in the trace" in result.stdout
+
+
+def test_custom_error_injection(tmp_path):
+    result = run_example("custom_error_injection.py", cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "stuck-high" in result.stdout

@@ -1,0 +1,163 @@
+"""Bug-detection tests — each Table III row as an executable assertion.
+
+Campaign runs are expensive, so each bug gets its own focused test at
+small geometry rather than running the whole matrix (the full matrix is
+the Table III benchmark).
+"""
+
+import pytest
+
+from repro.system import SystemConfig
+from repro.verif import run_system
+
+TINY = dict(width=48, height=32, simb_payload_words=128)
+
+
+def run_with(method, fault=None, n_frames=2, **overrides):
+    params = dict(TINY)
+    params.update(overrides)
+    faults = frozenset({fault}) if fault else frozenset()
+    return run_system(
+        SystemConfig(method=method, faults=faults, **params), n_frames=n_frames
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table III selected bugs
+# ---------------------------------------------------------------------------
+class TestBugHw2:
+    """engine_signature not initialized — a VMux-only false alarm."""
+
+    def test_vmux_detects(self):
+        res = run_with("vmux", "hw.2", n_frames=1)
+        assert res.detected
+        assert res.hung or res.frames_drawn == 0
+
+    def test_resim_cannot_introduce_it(self):
+        res = run_with("resim", "hw.2", n_frames=1)
+        assert not res.detected
+
+
+class TestBugDpr4:
+    """IcapCTRL point-to-point mode on a shared PLB."""
+
+    def test_resim_detects(self):
+        res = run_with("resim", "dpr.4", n_frames=1)
+        assert res.detected
+        assert res.monitors["plb_protocol_errors"] > 0
+
+    def test_vmux_misses(self):
+        res = run_with("vmux", "dpr.4", n_frames=1)
+        assert not res.detected
+
+
+class TestBugDpr5:
+    """Driver programs BSIZE in words instead of bytes."""
+
+    def test_resim_detects(self):
+        res = run_with("resim", "dpr.5", n_frames=1)
+        assert res.detected
+
+    def test_vmux_misses(self):
+        res = run_with("vmux", "dpr.5", n_frames=1)
+        assert not res.detected
+
+
+class TestBugDpr6b:
+    """Reset issued before the (slow-clock) transfer completes."""
+
+    def test_resim_detects(self):
+        res = run_with("resim", "dpr.6b", n_frames=1)
+        assert res.detected
+        # the lost pulses are visible evidence
+        assert (
+            res.monitors["lost_reset_pulses"] > 0
+            or res.monitors["lost_start_pulses"] > 0
+            or res.hung
+        )
+
+    def test_vmux_misses(self):
+        res = run_with("vmux", "dpr.6b", n_frames=1)
+        assert not res.detected
+
+    def test_fast_config_clock_masks_the_bug(self):
+        """The original design's faster configuration clock hid it: with
+        cfg as fast as the driver's assumption the delay is sufficient."""
+        res = run_with("resim", "dpr.6b", n_frames=1, cfg_mhz=100.0)
+        assert not res.detected
+
+
+# ---------------------------------------------------------------------------
+# Remaining DPR bugs
+# ---------------------------------------------------------------------------
+class TestBugDpr1:
+    """Isolation not armed before reconfiguration."""
+
+    def test_resim_detects_x_leak(self):
+        res = run_with("resim", "dpr.1", n_frames=1)
+        assert res.detected
+        assert res.monitors["isolation_x_leaks"] > 0
+        assert res.monitors["intc_x_violations"] > 0
+
+    def test_vmux_misses(self):
+        res = run_with("vmux", "dpr.1", n_frames=1)
+        assert not res.detected
+
+
+class TestBugDpr2:
+    """DCR registers left inside the reconfigurable region."""
+
+    def test_resim_detects_chain_break(self):
+        res = run_with("resim", "dpr.2", n_frames=1)
+        assert res.detected
+        assert res.monitors["dcr_chain_breaks"] > 0
+
+    def test_vmux_misses(self):
+        res = run_with("vmux", "dpr.2", n_frames=1)
+        assert not res.detected
+
+
+class TestBugDpr3:
+    """Newly configured engine started without reset."""
+
+    def test_resim_detects_corrupt_frame(self):
+        res = run_with("resim", "dpr.3", n_frames=1)
+        assert res.detected
+        assert any(not c.vec_ok for c in res.checks) or res.hung
+
+    def test_vmux_misses(self):
+        """Virtual multiplexing swaps are ideal: no dirty state exists."""
+        res = run_with("vmux", "dpr.3", n_frames=1)
+        assert not res.detected
+
+
+# ---------------------------------------------------------------------------
+# Software and static bugs: detected by BOTH methods
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("fault", ["sw.1", "hw.s1", "hw.s3"])
+@pytest.mark.parametrize("method", ["vmux", "resim"])
+def test_data_corrupting_bugs_detected_by_both(method, fault):
+    res = run_with(method, fault, n_frames=2)
+    assert res.detected
+    assert res.data_mismatches
+
+
+@pytest.mark.parametrize("method", ["vmux", "resim"])
+def test_hw_s2_hangs_under_both(method):
+    res = run_with(method, "hw.s2", n_frames=1)
+    assert res.detected
+    assert res.hung or res.frames_drawn == 0
+
+
+@pytest.mark.parametrize("method", ["vmux", "resim"])
+def test_sw2_missing_ack_detected_by_both(method):
+    res = run_with(method, "sw.2", n_frames=2)
+    assert res.detected
+
+
+def test_sw1_swapped_buffers_inverts_vectors():
+    res = run_with("resim", "sw.1", n_frames=2)
+    # frame 0 matches prev==curr, so the swap is benign there; frame 1
+    # must mismatch on vectors
+    bad = [c for c in res.checks if not c.vec_ok]
+    assert bad and bad[0].frame >= 1

@@ -1,0 +1,47 @@
+"""Tests for the bug catalogue."""
+
+import pytest
+
+from repro.verif import BUGS, validate_fault_keys
+from repro.verif.faults import DPR_PHASE_BUGS, STATIC_PHASE_BUGS
+
+
+def test_table3_bugs_present():
+    for key in ("hw.2", "dpr.4", "dpr.5", "dpr.6b"):
+        assert key in BUGS
+
+
+def test_figure5_tally():
+    """Weeks 10-11: 2 software bugs + 6 DPR bugs (paper §V-A)."""
+    late = [BUGS[k] for k in DPR_PHASE_BUGS]
+    sw = [b for b in late if b.layer == "software" and b.kind == "static"]
+    dpr = [b for b in late if b.kind == "dpr"]
+    assert len(sw) == 2
+    assert len(dpr) == 6
+
+
+def test_three_costly_static_bugs_weeks_6_to_9():
+    costly = [
+        b for b in BUGS.values() if b.kind == "static" and 6 <= b.week_found <= 9
+    ]
+    assert len(costly) == 3
+
+
+def test_expected_detectors_consistent():
+    for bug in BUGS.values():
+        assert set(bug.expected_detectors) <= {"vmux", "resim"}
+        if bug.kind == "dpr":
+            assert bug.expected_detectors == ("resim",)
+        if bug.is_false_alarm:
+            assert bug.expected_detectors == ("vmux",)
+
+
+def test_validate_fault_keys():
+    assert validate_fault_keys(["dpr.4", "sw.1"]) == frozenset({"dpr.4", "sw.1"})
+    with pytest.raises(KeyError):
+        validate_fault_keys(["nope"])
+
+
+def test_phase_partitions_cover_all_bugs():
+    assert set(STATIC_PHASE_BUGS) | set(DPR_PHASE_BUGS) == set(BUGS)
+    assert not set(STATIC_PHASE_BUGS) & set(DPR_PHASE_BUGS)

@@ -1,0 +1,86 @@
+"""Tests for the golden census transform."""
+
+import numpy as np
+import pytest
+
+from repro.video import census_transform, hamming_distance
+from repro.video.census import NEIGHBOUR_OFFSETS
+
+
+def test_flat_image_gives_zero_signatures():
+    frame = np.full((10, 12), 100, dtype=np.uint8)
+    feat = census_transform(frame)
+    assert (feat == 0).all()
+
+
+def test_border_is_zero():
+    rng = np.random.default_rng(0)
+    frame = rng.integers(0, 256, (16, 16)).astype(np.uint8)
+    feat = census_transform(frame)
+    assert (feat[0, :] == 0).all() and (feat[-1, :] == 0).all()
+    assert (feat[:, 0] == 0).all() and (feat[:, -1] == 0).all()
+
+
+def test_single_bright_neighbour_sets_single_bit():
+    for bit, (dy, dx) in enumerate(NEIGHBOUR_OFFSETS):
+        frame = np.full((5, 5), 100, dtype=np.uint8)
+        frame[2 + dy, 2 + dx] = 200
+        feat = census_transform(frame)
+        assert feat[2, 2] == (1 << bit)
+
+
+def test_bright_centre_gives_zero():
+    frame = np.full((5, 5), 100, dtype=np.uint8)
+    frame[2, 2] = 255
+    assert census_transform(frame)[2, 2] == 0
+
+
+def test_dark_centre_gives_all_ones():
+    frame = np.full((5, 5), 100, dtype=np.uint8)
+    frame[2, 2] = 0
+    assert census_transform(frame)[2, 2] == 0xFF
+
+
+def test_equal_neighbour_is_not_greater():
+    """Strictly-brighter comparison: ties give 0 bits."""
+    frame = np.full((5, 5), 100, dtype=np.uint8)
+    assert census_transform(frame)[2, 2] == 0
+
+
+def test_illumination_invariance():
+    """Census is invariant to adding a constant (no clipping)."""
+    rng = np.random.default_rng(1)
+    frame = rng.integers(50, 150, (20, 20)).astype(np.uint8)
+    brighter = (frame + 40).astype(np.uint8)
+    assert np.array_equal(census_transform(frame), census_transform(brighter))
+
+
+def test_translation_commutes():
+    """Shifting the image shifts the feature image (interior)."""
+    rng = np.random.default_rng(2)
+    frame = rng.integers(0, 256, (24, 24)).astype(np.uint8)
+    shifted = np.roll(frame, 3, axis=1)
+    f0 = census_transform(frame)
+    f1 = census_transform(shifted)
+    assert np.array_equal(f0[1:-1, 1:10], f1[1:-1, 4:13])
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        census_transform(np.zeros((2, 5), dtype=np.uint8))
+    with pytest.raises(ValueError):
+        census_transform(np.zeros(10, dtype=np.uint8))
+
+
+def test_hamming_distance_basics():
+    a = np.array([0b1010, 0xFF, 0], dtype=np.uint8)
+    b = np.array([0b0101, 0x00, 0], dtype=np.uint8)
+    assert hamming_distance(a, b).tolist() == [4, 8, 0]
+
+
+def test_hamming_distance_symmetry_and_identity():
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 256, 100).astype(np.uint8)
+    b = rng.integers(0, 256, 100).astype(np.uint8)
+    assert np.array_equal(hamming_distance(a, b), hamming_distance(b, a))
+    assert (hamming_distance(a, a) == 0).all()

@@ -1,0 +1,81 @@
+"""Tests for pixel/vector word packing."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    pack_pixels,
+    pack_vectors,
+    unpack_pixels,
+    unpack_vectors,
+    words_per_row,
+)
+
+
+def test_pack_unpack_pixels_roundtrip():
+    rng = np.random.default_rng(0)
+    row = rng.integers(0, 256, 64).astype(np.uint8)
+    assert np.array_equal(unpack_pixels(pack_pixels(row)), row)
+
+
+def test_pixel_byte_order_little_endian():
+    row = np.array([0x11, 0x22, 0x33, 0x44], dtype=np.uint8)
+    assert pack_pixels(row)[0] == 0x44332211
+
+
+def test_pack_pixels_requires_multiple_of_4():
+    with pytest.raises(ValueError):
+        pack_pixels(np.zeros(5, dtype=np.uint8))
+
+
+def test_unpack_pixels_count():
+    words = pack_pixels(np.arange(8, dtype=np.uint8))
+    assert len(unpack_pixels(words, count=6)) == 6
+    with pytest.raises(ValueError):
+        unpack_pixels(words, count=9)
+
+
+def test_words_per_row():
+    assert words_per_row(160) == 40
+    with pytest.raises(ValueError):
+        words_per_row(158)
+
+
+def test_pack_unpack_vectors_roundtrip():
+    rng = np.random.default_rng(1)
+    dx = rng.integers(-4, 5, (6, 8)).astype(np.int8)
+    dy = rng.integers(-4, 5, (6, 8)).astype(np.int8)
+    valid = rng.integers(0, 2, (6, 8)).astype(bool)
+    words = pack_vectors(dx, dy, valid)
+    dx2, dy2, valid2 = unpack_vectors(words, shape=(6, 8))
+    assert np.array_equal(dx2, dx)
+    assert np.array_equal(dy2, dy)
+    assert np.array_equal(valid2, valid)
+
+
+def test_vector_encoding_layout():
+    words = pack_vectors(
+        np.array([-2], dtype=np.int8),
+        np.array([1], dtype=np.int8),
+        np.array([True]),
+    )
+    w = int(words[0])
+    assert w & 0xFF == 126  # -2 + 128
+    assert (w >> 8) & 0xFF == 129  # 1 + 128
+    assert w & (1 << 16)
+
+
+def test_vector_range_checked():
+    with pytest.raises(ValueError):
+        pack_vectors(
+            np.array([200], dtype=np.int16),
+            np.array([0], dtype=np.int16),
+            np.array([True]),
+        )
+
+
+def test_vector_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        pack_vectors(
+            np.zeros(3, np.int8), np.zeros(4, np.int8), np.zeros(3, bool)
+        )

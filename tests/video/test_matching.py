@@ -1,0 +1,109 @@
+"""Tests for the golden census matcher."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    FrameSequence,
+    SceneConfig,
+    census_transform,
+    match_features,
+    motion_field_error,
+)
+
+
+def test_identical_frames_give_zero_motion():
+    rng = np.random.default_rng(0)
+    frame = rng.integers(0, 256, (32, 32)).astype(np.uint8)
+    feat = census_transform(frame)
+    dx, dy, valid = match_features(feat, feat)
+    assert (dx[valid] == 0).all()
+    assert (dy[valid] == 0).all()
+    assert valid.any()
+
+
+def test_global_translation_recovered():
+    rng = np.random.default_rng(1)
+    prev = rng.integers(0, 256, (40, 40)).astype(np.uint8)
+    curr = np.roll(prev, (1, 2), axis=(0, 1))  # moved down 1, right 2
+    fprev, fcurr = census_transform(prev), census_transform(curr)
+    dx, dy, valid = match_features(fprev, fcurr)
+    interior = np.zeros_like(valid)
+    interior[6:-6, 6:-6] = True
+    sel = valid & interior
+    assert sel.any()
+    assert np.median(dx[sel]) == 2
+    assert np.median(dy[sel]) == 1
+
+
+def test_invalid_vectors_at_featureless_pixels():
+    frame = np.full((20, 20), 77, dtype=np.uint8)
+    feat = census_transform(frame)
+    dx, dy, valid = match_features(feat, feat)
+    assert not valid.any()
+
+
+def test_border_is_invalid():
+    rng = np.random.default_rng(2)
+    frame = rng.integers(0, 256, (20, 20)).astype(np.uint8)
+    feat = census_transform(frame)
+    _, _, valid = match_features(feat, feat, radius=2)
+    assert not valid[:3, :].any()
+    assert not valid[:, -3:].any()
+
+
+def test_search_radius_limits_recoverable_motion():
+    rng = np.random.default_rng(3)
+    prev = rng.integers(0, 256, (40, 40)).astype(np.uint8)
+    curr = np.roll(prev, 3, axis=1)  # dx=3 beyond radius 2
+    dx, dy, valid = match_features(
+        census_transform(prev), census_transform(curr), radius=2
+    )
+    sel = valid.copy()
+    sel[:8, :] = sel[-8:, :] = False
+    sel[:, :8] = sel[:, -8:] = False
+    # radius-2 search cannot produce dx=3
+    assert (np.abs(dx) <= 2).all()
+    dx4, _, valid4 = match_features(
+        census_transform(prev), census_transform(curr), radius=4
+    )
+    sel4 = valid4.copy()
+    sel4[:8, :] = sel4[-8:, :] = False
+    sel4[:, :8] = sel4[:, -8:] = False
+    assert np.median(dx4[sel4]) == 3
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        match_features(np.zeros((10, 10), np.uint8), np.zeros((10, 12), np.uint8))
+
+
+def test_too_small_for_radius_rejected():
+    with pytest.raises(ValueError):
+        match_features(np.zeros((6, 6), np.uint8), np.zeros((6, 6), np.uint8), radius=2)
+
+
+def test_end_to_end_scene_motion_recovered():
+    """Full pipeline on a synthetic scene: object vectors match ground truth."""
+    cfg = SceneConfig(width=96, height=72, n_objects=1, max_speed=2, seed=42)
+    seq = FrameSequence(cfg)
+    f0, f1 = seq.frame(0), seq.frame(1)
+    dx, dy, valid = match_features(census_transform(f0), census_transform(f1))
+    (expected,) = seq.true_motion(0)
+    mask = seq.object_mask(1, margin=4)
+    err = motion_field_error(dx, dy, valid, mask, expected)
+    assert err < 0.25, f"motion error {err:.2%} too high for {expected}"
+
+
+def test_motion_field_error_empty_mask():
+    z = np.zeros((10, 10), dtype=np.int8)
+    assert motion_field_error(z, z, np.zeros((10, 10), bool), np.zeros((10, 10), bool), (0, 0)) == 1.0
+
+
+def test_zero_displacement_preferred_on_ties():
+    """Ambiguous (flat-cost) regions resolve to the smallest displacement."""
+    rng = np.random.default_rng(4)
+    prev = rng.integers(0, 256, (30, 30)).astype(np.uint8)
+    feat = census_transform(prev)
+    dx, dy, valid = match_features(feat, feat)
+    assert (dx[valid] == 0).all() and (dy[valid] == 0).all()
