@@ -1,5 +1,7 @@
 """Measurement and reporting: the numbers behind the paper's evaluation.
 
+* :mod:`~repro.analysis.benchkit` — kernel-throughput workloads and the
+  BENCH_kernel.json regression baseline (``repro bench``),
 * :mod:`~repro.analysis.profiling` — per-phase simulated/elapsed-time
   accounting (Table II) and simulation-overhead attribution (§V),
 * :mod:`~repro.analysis.reporting` — dependency-free table/series
@@ -9,10 +11,13 @@
   and the live bug campaign.
 """
 
+from . import benchkit
 from .profiling import (
+    FastPathReport,
     FrameProfile,
     OverheadProfile,
     PhaseStats,
+    fastpath_by_owner,
     measure_artifact_overhead,
     profile_one_frame,
 )
@@ -21,9 +26,12 @@ from .timeline import DevelopmentTimeline, build_timeline
 from .vcdscan import VcdParseError, VcdScan
 
 __all__ = [
+    "benchkit",
+    "FastPathReport",
     "FrameProfile",
     "OverheadProfile",
     "PhaseStats",
+    "fastpath_by_owner",
     "measure_artifact_overhead",
     "profile_one_frame",
     "format_ps",

@@ -8,6 +8,7 @@ cocotb): timers, signal edges, named events, and combinators.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,9 +59,23 @@ class Trigger:
 
     def _fire(self, sim) -> None:
         """Wake every waiting process.  Called by the scheduler."""
-        waiters, self._waiters = self._waiters, []
+        waiters = self._waiters
+        if len(waiters) == 1:
+            # dominant case: reuse the list instead of allocating
+            proc = waiters[0]
+            waiters.clear()
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                sim._ready.append((proc, self))
+            return
+        self._waiters = []
+        append = sim._ready.append
         for proc in waiters:
-            sim._wake(proc, self)
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                append((proc, self))
 
 
 class Timer(Trigger):
@@ -69,42 +84,75 @@ class Timer(Trigger):
     __slots__ = ("delay",)
 
     def __init__(self, delay: int):
-        super().__init__()
+        self._waiters = []
         if delay < 0:
             raise ValueError(f"Timer delay must be >= 0, got {delay}")
-        self.delay = int(delay)
+        self.delay = delay if type(delay) is int else int(delay)
 
     def _prime(self, sim, process: "Process") -> None:
-        super()._prime(sim, process)
-        sim._schedule_timed(sim.time + self.delay, self)
+        # inlined Trigger._prime + Simulator._schedule_timed (hot path)
+        self._waiters.append(process)
+        sim._seq += 1
+        heappush(sim._timed, (sim.time + self.delay, sim._seq, self))
 
     def __repr__(self) -> str:
         return f"Timer({self.delay}ps)"
 
 
+def _list_discard(lst: list, item) -> None:
+    """Remove ``item`` from ``lst`` if present (identity/equality)."""
+    try:
+        lst.remove(item)
+    except ValueError:
+        pass
+
+
 class Edge(Trigger):
-    """Fires on any value change of a signal."""
+    """Fires on any value change of a signal.
+
+    The three edge kinds keep their primed-trigger lists in dedicated
+    :class:`~repro.kernel.signal.Signal` slots (``_w_any`` / ``_w_rise``
+    / ``_w_fall``); each subclass addresses its slot directly so the
+    prime/fire hot path does no kind dispatch.  Plain lists beat sets
+    here: they hold zero or one entry in virtually every design, so an
+    append/remove pair is cheaper than hashing.
+    """
 
     __slots__ = ("signal",)
 
     _kind = "any"
 
     def __init__(self, signal: "Signal"):
-        super().__init__()
+        self._waiters = []
         self.signal = signal
 
     def _prime(self, sim, process: "Process") -> None:
-        super()._prime(sim, process)
-        self.signal._edge_waiters[self._kind].add(self)
+        self._waiters.append(process)
+        self.signal._w_any.append(self)
 
     def _unprime(self, process: "Process") -> None:
         super()._unprime(process)
         if not self._waiters:
-            self.signal._edge_waiters[self._kind].discard(self)
+            _list_discard(self.signal._w_any, self)
 
     def _fire(self, sim) -> None:
-        self.signal._edge_waiters[self._kind].discard(self)
-        super()._fire(sim)
+        _list_discard(self.signal._w_any, self)
+        waiters = self._waiters
+        if len(waiters) == 1:
+            proc = waiters[0]
+            waiters.clear()
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                sim._ready.append((proc, self))
+            return
+        self._waiters = []
+        append = sim._ready.append
+        for proc in waiters:
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                append((proc, self))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.signal.name})"
@@ -116,12 +164,68 @@ class RisingEdge(Edge):
     __slots__ = ()
     _kind = "rise"
 
+    def _prime(self, sim, process: "Process") -> None:
+        self._waiters.append(process)
+        self.signal._w_rise.append(self)
+
+    def _unprime(self, process: "Process") -> None:
+        Trigger._unprime(self, process)
+        if not self._waiters:
+            _list_discard(self.signal._w_rise, self)
+
+    def _fire(self, sim) -> None:
+        _list_discard(self.signal._w_rise, self)
+        waiters = self._waiters
+        if len(waiters) == 1:
+            proc = waiters[0]
+            waiters.clear()
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                sim._ready.append((proc, self))
+            return
+        self._waiters = []
+        append = sim._ready.append
+        for proc in waiters:
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                append((proc, self))
+
 
 class FallingEdge(Edge):
     """Fires on a transition to 0 (negedge)."""
 
     __slots__ = ()
     _kind = "fall"
+
+    def _prime(self, sim, process: "Process") -> None:
+        self._waiters.append(process)
+        self.signal._w_fall.append(self)
+
+    def _unprime(self, process: "Process") -> None:
+        Trigger._unprime(self, process)
+        if not self._waiters:
+            _list_discard(self.signal._w_fall, self)
+
+    def _fire(self, sim) -> None:
+        _list_discard(self.signal._w_fall, self)
+        waiters = self._waiters
+        if len(waiters) == 1:
+            proc = waiters[0]
+            waiters.clear()
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                sim._ready.append((proc, self))
+            return
+        self._waiters = []
+        append = sim._ready.append
+        for proc in waiters:
+            if proc.__class__ is _FirstWaiter:
+                sim._wake(proc, self)
+            else:
+                append((proc, self))
 
 
 class Event:

@@ -45,6 +45,57 @@ def _mask(width: int) -> int:
     return (1 << width) - 1
 
 
+# ----------------------------------------------------------------------
+# Interning of small fully-defined vectors
+# ----------------------------------------------------------------------
+# The kernel's hottest allocations are tiny constants: clock toggles,
+# control strobes, narrow counters.  LogicVector is immutable, so every
+# fully-defined value of width <= _INTERN_WIDTH is a shared singleton
+# and driving `sig.next = 0/1` allocates nothing.
+_INTERN_WIDTH = 8
+
+_new = object.__new__
+
+
+def _new_defined(width: int, value: int) -> "LogicVector":
+    """Fast constructor for a fully-defined vector.
+
+    Bypasses ``__init__``'s masking/consistency checks (writing the
+    slots through their descriptors, which sidesteps the immutability
+    guard); callers must guarantee ``width > 0`` and
+    ``0 <= value < 2**width``.
+    """
+    lv = _new(LogicVector)
+    _set_width(lv, width)
+    _set_value(lv, value)
+    _set_xmask(lv, 0)
+    _set_zmask(lv, 0)
+    return lv
+
+
+_interned: dict = {}
+
+
+def _intern_table(width: int) -> list:
+    table = _interned.get(width)
+    if table is None:
+        table = _interned[width] = [
+            _new_defined(width, v) for v in range(1 << width)
+        ]
+    return table
+
+
+def intern_defined(width: int, value: int) -> "LogicVector":
+    """The canonical vector for a small fully-defined value.
+
+    Falls back to a fresh (unshared) vector above the interning width.
+    Callers must guarantee ``width > 0`` and ``0 <= value < 2**width``.
+    """
+    if width <= _INTERN_WIDTH:
+        return _intern_table(width)[value]
+    return _new_defined(width, value)
+
+
 class LogicVector:
     """An immutable ``width``-bit four-state logic value."""
 
@@ -60,10 +111,10 @@ class LogicVector:
         if xmask & zmask:
             raise ValueError("a bit cannot be both X and Z")
         # Undefined bits read as 0 in `value` so equality is canonical.
-        object.__setattr__(self, "width", width)
-        object.__setattr__(self, "value", value & ~(xmask | zmask) & m)
-        object.__setattr__(self, "xmask", xmask)
-        object.__setattr__(self, "zmask", zmask)
+        _set_width(self, width)
+        _set_value(self, value & ~(xmask | zmask) & m)
+        _set_xmask(self, xmask)
+        _set_zmask(self, zmask)
 
     def __setattr__(self, name, _value):  # pragma: no cover - defensive
         raise AttributeError("LogicVector is immutable")
@@ -74,10 +125,14 @@ class LogicVector:
     @classmethod
     def from_int(cls, value: int, width: int) -> "LogicVector":
         """Build a fully-defined vector from a non-negative integer."""
+        if width <= 0:
+            raise ValueError(f"LogicVector width must be positive, got {width}")
         if value < 0:
             value &= _mask(width)
         if value >> width:
             raise ValueError(f"value {value:#x} does not fit in {width} bits")
+        if cls is LogicVector:
+            return intern_defined(width, value)
         return cls(width, value)
 
     @classmethod
@@ -346,6 +401,15 @@ class LogicVector:
         return LogicVector(self.width, value & ~xmask, xmask, zmask)
 
 
+# Prefetched slot descriptors: the fastest pure-Python way to write the
+# slots of an immutable instance (``object.__setattr__`` pays a name
+# lookup per call; the descriptor write does not).
+_set_width = LogicVector.__dict__["width"].__set__
+_set_value = LogicVector.__dict__["value"].__set__
+_set_xmask = LogicVector.__dict__["xmask"].__set__
+_set_zmask = LogicVector.__dict__["zmask"].__set__
+
+
 LogicValue = Union[LogicVector, int]
 
 
@@ -374,8 +438,8 @@ def LV(value: Union[int, str], width: int | None = None) -> LogicVector:
 
 
 def bit(value: int) -> LogicVector:
-    """A single defined bit."""
-    return LogicVector(1, value & 1)
+    """A single defined bit (interned)."""
+    return _intern_table(1)[value & 1]
 
 
 def xbits(width: int) -> LogicVector:

@@ -101,20 +101,27 @@ class Process:
             sim._report_process_error(ProcessError(self, exc))
             return
 
-        if isinstance(yielded, Process):
-            yielded = Join(yielded)
-        if not isinstance(yielded, Trigger):
-            self.finished = True
-            exc = TypeError(
-                f"process {self.name!r} yielded {yielded!r}; processes must "
-                f"yield Trigger instances (Timer, RisingEdge, ...)"
-            )
-            self.exception = exc
-            self._finish(sim)
-            sim._report_process_error(ProcessError(self, exc))
+        if isinstance(yielded, Trigger):  # common case first
+            self._waiting_on = yielded
+            yielded._prime(sim, self)
             return
-        self._waiting_on = yielded
-        yielded._prime(sim, self)
+        self._handle_nontrigger_yield(sim, yielded)
+
+    def _handle_nontrigger_yield(self, sim, yielded) -> None:
+        """Slow path shared with the scheduler's inlined resume loop."""
+        if isinstance(yielded, Process):
+            join = Join(yielded)
+            self._waiting_on = join
+            join._prime(sim, self)
+            return
+        self.finished = True
+        exc = TypeError(
+            f"process {self.name!r} yielded {yielded!r}; processes must "
+            f"yield Trigger instances (Timer, RisingEdge, ...)"
+        )
+        self.exception = exc
+        self._finish(sim)
+        sim._report_process_error(ProcessError(self, exc))
 
     def _finish(self, sim) -> None:
         joiners, self._joiners = self._joiners, []

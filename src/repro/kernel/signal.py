@@ -8,26 +8,43 @@ processes are scheduled for the next delta.
 
 Value-change counts are accumulated per signal and rolled up per owning
 module by the simulator's activity accounting — that is how the Table II
-"elapsed time tracks signal activity" experiment is measured.
+"elapsed time tracks signal activity" experiment is measured.  Each
+signal additionally counts how often its updates took the 2-state fast
+path (neither old nor new value carried X/Z bits) versus the full
+four-state path; :mod:`repro.analysis.profiling` rolls those up per
+owning module.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Union
 
-from .logic import LogicVector
+from .logic import _INTERN_WIDTH, LogicVector, _intern_table, _new_defined
 
 __all__ = ["Signal", "SignalWriteError"]
 
-_BIT0 = LogicVector(1, 0)
-_BIT1 = LogicVector(1, 1)
+_BIT0 = _intern_table(1)[0]
+_BIT1 = _intern_table(1)[1]
 
 
 class SignalWriteError(RuntimeError):
     pass
 
 
+def _coerce_int(value: int, width: int) -> LogicVector:
+    if value < 0:
+        value &= (1 << width) - 1
+    elif value >> width:
+        raise SignalWriteError(f"value {value:#x} does not fit in {width} bits")
+    if width <= _INTERN_WIDTH:
+        return _intern_table(width)[value]
+    return _new_defined(width, value)
+
+
 def _coerce_value(value: Union[LogicVector, int, bool], width: int) -> LogicVector:
+    if type(value) is int:  # hot path: plain int writes
+        return _coerce_int(value, width)
     if isinstance(value, LogicVector):
         if value.width != width:
             if value.width < width or not (
@@ -38,19 +55,8 @@ def _coerce_value(value: Union[LogicVector, int, bool], width: int) -> LogicVect
                 f"value of width {value.width} does not fit signal of width {width}"
             )
         return value
-    if isinstance(value, bool):
-        value = int(value)
-    if isinstance(value, int):
-        if width == 1:
-            if value == 0:
-                return _BIT0
-            if value == 1:
-                return _BIT1
-        if value < 0:
-            value &= (1 << width) - 1
-        if value >> width:
-            raise SignalWriteError(f"value {value:#x} does not fit in {width} bits")
-        return LogicVector(width, value)
+    if isinstance(value, (bool, int)):  # bool, IntEnum, ...
+        return _coerce_int(int(value), width)
     raise TypeError(f"cannot drive signal with {value!r}")
 
 
@@ -63,11 +69,18 @@ class Signal:
         "_value",
         "_sim",
         "owner",
-        "_edge_waiters",
+        "_w_any",
+        "_w_rise",
+        "_w_fall",
         "change_count",
+        "fast_hits",
+        "fast_misses",
         "_vcd_id",
         "_pending",
         "_monitors",
+        "_limit",
+        "_small",
+        "_make",
     )
 
     def __init__(
@@ -79,18 +92,38 @@ class Signal:
     ):
         self.name = name
         self.width = width
+        # precomputed int-write fast path: exclusive upper bound, the
+        # interned constant table (None above the interning width), and
+        # a one-call in-range-int -> LogicVector maker
+        self._limit = 1 << width
+        if width <= _INTERN_WIDTH:
+            self._small = _intern_table(width)
+            self._make = self._small.__getitem__
+        else:
+            self._small = None
+            self._make = partial(_new_defined, width)
         if init is None:
             self._value = LogicVector.unknown(width)
         else:
             self._value = _coerce_value(init, width)
         self._sim = None
         self.owner = owner
-        # edge kind -> set of primed Edge triggers
-        self._edge_waiters = {"any": set(), "rise": set(), "fall": set()}
+        # primed Edge triggers, one list per edge kind, held in dedicated
+        # slots so the update hot path never goes through a dict
+        self._w_any = []
+        self._w_rise = []
+        self._w_fall = []
         self.change_count = 0
+        self.fast_hits = 0
+        self.fast_misses = 0
         self._vcd_id: Optional[str] = None
         self._pending = False
         self._monitors = None  # lazily created list of callbacks
+
+    @property
+    def _edge_waiters(self):
+        """Edge-kind -> waiter-list view (kept for introspection/tests)."""
+        return {"any": self._w_any, "rise": self._w_rise, "fall": self._w_fall}
 
     # ------------------------------------------------------------------
     # Reading
@@ -107,11 +140,20 @@ class Signal:
 
     @property
     def is_high(self) -> bool:
-        return self._value.is_defined and self._value.value == 1 and self.width == 1
+        """True iff this is a 1-bit signal at a defined 1."""
+        v = self._value
+        return self.width == 1 and v.value == 1 and v.is_defined
 
     @property
     def is_low(self) -> bool:
-        return self._value.is_defined and self._value.value == 0
+        """True iff this is a 1-bit signal at a defined 0.
+
+        Symmetric with :attr:`is_high`: both require ``width == 1``, so a
+        multi-bit all-zeros vector is neither "low" nor "high" — use
+        ``to_int()``/comparisons for buses.
+        """
+        v = self._value
+        return self.width == 1 and v.value == 0 and v.is_defined
 
     @property
     def has_x(self) -> bool:
@@ -127,11 +169,16 @@ class Signal:
     @next.setter
     def next(self, value: Union[LogicVector, int, bool]) -> None:
         """Schedule a non-blocking update to take effect this delta."""
-        if self._sim is None:
+        if type(value) is int and 0 <= value < self._limit:
+            new = self._make(value)
+        else:
+            new = _coerce_value(value, self.width)
+        sim = self._sim
+        if sim is None:
             # Not yet bound to a simulator: apply immediately (elaboration).
-            self._value = _coerce_value(value, self.width)
+            self._value = new
             return
-        self._sim._schedule_update(self, _coerce_value(value, self.width))
+        sim._updates[self] = new
 
     def drive(self, value: Union[LogicVector, int, bool]) -> None:
         """Alias for ``sig.next = value`` usable in expressions."""
@@ -141,9 +188,16 @@ class Signal:
         """Immediately overwrite the value *without* firing triggers.
 
         Reserved for testbench initialization and error injection setup;
-        normal design code must use :attr:`next`.
+        normal design code must use :attr:`next`.  The forced value *is*
+        recorded to an attached VCD writer (so injected values are
+        visible in waveforms), but edge triggers and ``add_monitor``
+        callbacks are intentionally bypassed: a force is an
+        out-of-band testbench action, not a design event.
         """
         self._value = _coerce_value(value, self.width)
+        sim = self._sim
+        if sim is not None and sim._vcd is not None and self._vcd_id is not None:
+            sim._vcd._record(sim.time, self)
 
     # ------------------------------------------------------------------
     # Kernel interface
@@ -158,17 +212,27 @@ class Signal:
         self._monitors.append(callback)
 
     def _apply(self, new: LogicVector):
-        """Commit a scheduled update; returns (changed, old_value)."""
+        """Commit a scheduled update; returns (changed, old_value).
+
+        The simulator's update phase inlines this logic; this method is
+        the canonical (and test-visible) definition of commit semantics.
+        """
         old = self._value
-        # hot path: inline the four-field comparison (both operands are
-        # always LogicVectors here, so __eq__'s coercion is dead weight)
-        if (
-            new.value == old.value
-            and new.xmask == old.xmask
-            and new.zmask == old.zmask
-            and new.width == old.width
-        ):
-            return False, old
+        if new.xmask | new.zmask | old.xmask | old.zmask:
+            # four-state path: full field comparison
+            self.fast_misses += 1
+            if (
+                new.value == old.value
+                and new.xmask == old.xmask
+                and new.zmask == old.zmask
+                and new.width == old.width
+            ):
+                return False, old
+        else:
+            # 2-state fast path: both values fully defined
+            self.fast_hits += 1
+            if new.value == old.value and new.width == old.width:
+                return False, old
         self._value = new
         self.change_count += 1
         return True, old

@@ -117,9 +117,12 @@ class Simulator:
         self.stats = SimStats()
         self._seq = 0
         self._timed: List[Tuple[int, int, Trigger]] = []
+        # The scheduler queues below are drained in place and never
+        # rebound, so hot loops can hold direct references to them.
         self._ready: deque = deque()  # (process, fired trigger)
         self._updates: Dict[Signal, object] = {}
         self._delta_triggers: List[Trigger] = []
+        self._fired_scratch: List[Trigger] = []  # reused by _run_update
         self._processes: List[Process] = []
         self._errors: List[ProcessError] = []
         self._vcd = None
@@ -187,73 +190,176 @@ class Simulator:
         self._errors.append(error)
 
     def _run_evaluation(self) -> None:
-        ready, self._ready = self._ready, deque()
+        # Drain the ready queue in place: processes woken *during* the
+        # drain land beyond the snapshot length and run next delta.  Off
+        # profile mode, Process._resume is inlined — the generator
+        # resume is the single most frequent operation in the kernel.
+        # Process._resume stays the canonical definition of the resume
+        # semantics; this loop must match it.
+        ready = self._ready
+        popleft = ready.popleft
         stats = self.stats
-        profile = self.profile
-        for proc, fired in ready:
-            if proc.finished:
-                continue
-            stats.resumes += 1
-            owner = proc.owner
-            if owner is not None:
-                stats.resumes_by_owner[owner] += 1
-            if profile:
+        resumes_by_owner = stats.resumes_by_owner
+        if self.profile:
+            for _ in range(len(ready)):
+                proc, fired = popleft()
+                if proc.finished:
+                    continue
+                stats.resumes += 1
+                owner = proc.owner
+                if owner is not None:
+                    resumes_by_owner[owner] += 1
                 t0 = _time.perf_counter_ns()
                 proc._resume(self, fired)
                 dt = _time.perf_counter_ns() - t0
                 proc.elapsed_ns += dt
                 if owner is not None:
                     stats.elapsed_ns_by_owner[owner] += dt
-            else:
-                proc._resume(self, fired)
+            return
+        resumes = 0
+        try:
+            for _ in range(len(ready)):
+                proc, fired = popleft()
+                if proc.finished:
+                    continue
+                resumes += 1
+                owner = proc.owner
+                if owner is not None:
+                    resumes_by_owner[owner] += 1
+                # -- inlined Process._resume --
+                proc._waiting_on = None
+                proc.resume_count += 1
+                try:
+                    yielded = proc._gen.send(fired)
+                except StopIteration as stop:
+                    proc.finished = True
+                    proc.result = getattr(stop, "value", None)
+                    proc._finish(self)
+                except Exception as exc:  # noqa: BLE001 - surface to scheduler
+                    proc.finished = True
+                    proc.exception = exc
+                    proc._finish(self)
+                    self._errors.append(ProcessError(proc, exc))
+                else:
+                    if isinstance(yielded, Trigger):
+                        proc._waiting_on = yielded
+                        yielded._prime(self, proc)
+                    else:
+                        proc._handle_nontrigger_yield(self, yielded)
+        finally:
+            stats.resumes += resumes
 
     def _run_update(self) -> None:
-        stats = self.stats
-        updates, self._updates = self._updates, {}
-        fired: List[Trigger] = self._delta_triggers
-        self._delta_triggers = []
-        for signal, value in updates.items():
-            changed, old = signal._apply(value)
-            if not changed:
-                continue
-            stats.value_changes += 1
-            owner = signal.owner
-            if owner is not None:
-                stats.changes_by_owner[owner] += 1
-            if self._vcd is not None and signal._vcd_id is not None:
-                self._vcd._record(self.time, signal)
-            if signal._monitors:
-                for cb in signal._monitors:
-                    cb(signal, old, signal._value)
-            waiters = signal._edge_waiters
-            if waiters["any"]:
-                fired.extend(waiters["any"])
-            new_val = signal._value
-            lsb_new = new_val.value & 1 if not (new_val.xmask | new_val.zmask) & 1 else None
-            lsb_old = old.value & 1 if not (old.xmask | old.zmask) & 1 else None
-            if waiters["rise"] and lsb_new == 1 and lsb_old != 1:
-                fired.extend(waiters["rise"])
-            if waiters["fall"] and lsb_new == 0 and lsb_old != 0:
-                fired.extend(waiters["fall"])
-        for trig in fired:
-            trig._fire(self)
+        # Inlines Signal._apply (the canonical commit semantics) with a
+        # 2-state fast path: when neither old nor new value carries X/Z
+        # bits, the comparison and the rise/fall lsb extraction skip all
+        # mask work.  Per-signal fast_hits/fast_misses count which path
+        # each commit took (rolled up per owner by analysis.profiling).
+        updates = self._updates
+        dts = self._delta_triggers
+        if not updates and not dts:
+            return
+        fired: List[Trigger] = self._fired_scratch
+        if dts:
+            # capture-and-clear before firing: triggers scheduled while
+            # firing land in dts again and run next delta
+            fired.extend(dts)
+            dts.clear()
+        if updates:
+            if len(updates) == 1:
+                # common case: one signal changed
+                items = (updates.popitem(),)
+            else:
+                items = list(updates.items())
+                updates.clear()
+            stats = self.stats
+            changes_by_owner = stats.changes_by_owner
+            vcd = self._vcd
+            time_now = self.time
+            for signal, new in items:
+                old = signal._value
+                if new.xmask | new.zmask | old.xmask | old.zmask:
+                    # four-state path
+                    signal.fast_misses += 1
+                    if (
+                        new.value == old.value
+                        and new.xmask == old.xmask
+                        and new.zmask == old.zmask
+                        and new.width == old.width
+                    ):
+                        continue
+                    lsb_new = (
+                        new.value & 1 if not (new.xmask | new.zmask) & 1 else None
+                    )
+                    lsb_old = (
+                        old.value & 1 if not (old.xmask | old.zmask) & 1 else None
+                    )
+                else:
+                    # 2-state fast path
+                    signal.fast_hits += 1
+                    if new.value == old.value and new.width == old.width:
+                        continue
+                    lsb_new = new.value & 1
+                    lsb_old = old.value & 1
+                signal._value = new
+                signal.change_count += 1
+                stats.value_changes += 1
+                owner = signal.owner
+                if owner is not None:
+                    changes_by_owner[owner] += 1
+                if vcd is not None and signal._vcd_id is not None:
+                    vcd._record(time_now, signal)
+                if signal._monitors:
+                    for cb in signal._monitors:
+                        cb(signal, old, new)
+                w = signal._w_any
+                if w:
+                    fired.extend(w)
+                w = signal._w_rise
+                if w and lsb_new == 1 and lsb_old != 1:
+                    fired.extend(w)
+                w = signal._w_fall
+                if w and lsb_new == 0 and lsb_old != 0:
+                    fired.extend(w)
+        try:
+            for trig in fired:
+                trig._fire(self)
+        finally:
+            fired.clear()
 
     def _step_deltas(self) -> None:
-        """Run delta cycles at the current time until quiescent."""
+        """Run delta cycles at the current time until quiescent.
+
+        This is the canonical delta loop, used by profiling runs and by
+        :meth:`run_until_event`.  Non-profiling :meth:`run` calls go
+        through :meth:`_run_fast`, which inlines the same semantics.
+        """
         deltas = 0
-        while self._ready or self._updates or self._delta_triggers:
+        max_deltas = self.MAX_DELTAS_PER_STEP
+        stats = self.stats
+        # the scheduler queues are drained in place, never rebound, so
+        # direct references stay valid across deltas
+        ready = self._ready
+        updates = self._updates
+        dts = self._delta_triggers
+        errors = self._errors
+        run_evaluation = self._run_evaluation
+        run_update = self._run_update
+        while ready or updates or dts:
             deltas += 1
-            self.stats.deltas += 1
-            if deltas > self.MAX_DELTAS_PER_STEP:
+            stats.deltas += 1
+            if deltas > max_deltas:
                 raise DeltaOverflowError(
                     f"time step at t={self.time}ps did not stabilize after "
-                    f"{self.MAX_DELTAS_PER_STEP} delta cycles "
+                    f"{max_deltas} delta cycles "
                     f"(combinational loop?)"
                 )
-            self._run_evaluation()
-            self._run_update()
-            if self._errors:
-                raise self._errors.pop(0)
+            if ready:
+                run_evaluation()
+            if updates or dts:
+                run_update()
+            if errors:
+                raise errors.pop(0)
 
     # ------------------------------------------------------------------
     # Running
@@ -268,19 +374,192 @@ class Simulator:
                 f"cannot run until t={until}ps: simulation is already at "
                 f"t={self.time}ps"
             )
+        if not self.profile:
+            return self._run_fast(until)
         self._step_deltas()
         self.stats.timesteps += 1
-        while self._timed and not self._finished:
-            when = self._timed[0][0]
+        timed = self._timed
+        heappop = heapq.heappop
+        step_deltas = self._step_deltas
+        stats = self.stats
+        while timed and not self._finished:
+            when = timed[0][0]
             if until is not None and when > until:
                 self.time = until
                 return self.time
             self.time = when
-            self.stats.timesteps += 1
-            while self._timed and self._timed[0][0] == when:
-                _, _, trig = heapq.heappop(self._timed)
-                trig._fire(self)
-            self._step_deltas()
+            stats.timesteps += 1
+            while timed and timed[0][0] == when:
+                heappop(timed)[2]._fire(self)
+            step_deltas()
+        if until is not None and self.time < until and not self._finished:
+            self.time = until
+        return self.time
+
+    def _run_fast(self, until: Optional[int]) -> int:
+        """Non-profiling :meth:`run` loop.
+
+        Everything the scheduler touches is bound once per call; the
+        delta loop lives in a closure so each time step costs one plain
+        call with zero attribute traffic.  The closure inlines
+        :meth:`_run_evaluation` (via ``Process._resume``) and
+        :meth:`_run_update` (via ``Signal._apply``) — those methods stay
+        the canonical definitions of the phase semantics, and this loop
+        must match them.  The scheduler queues are drained in place and
+        never rebound, so the direct references below stay valid for the
+        whole run.
+        """
+        ready = self._ready
+        popleft = ready.popleft
+        updates = self._updates
+        dts = self._delta_triggers
+        errors = self._errors
+        fired: List[Trigger] = self._fired_scratch
+        stats = self.stats
+        resumes_by_owner = stats.resumes_by_owner
+        changes_by_owner = stats.changes_by_owner
+        vcd = self._vcd
+        max_deltas = self.MAX_DELTAS_PER_STEP
+        timed = self._timed
+        heappop = heapq.heappop
+
+        def step_deltas(time_now: int) -> None:
+            deltas = 0
+            resumes = 0
+            changes = 0
+            try:
+                while ready or updates or dts:
+                    deltas += 1
+                    if deltas > max_deltas:
+                        raise DeltaOverflowError(
+                            f"time step at t={time_now}ps did not stabilize "
+                            f"after {max_deltas} delta cycles "
+                            f"(combinational loop?)"
+                        )
+                    # ---- evaluation phase (inlined Process._resume) ----
+                    # snapshot drain: processes woken during the drain
+                    # land beyond the snapshot length and run next delta
+                    for _ in range(len(ready)):
+                        proc, sent = popleft()
+                        if proc.finished:
+                            continue
+                        resumes += 1
+                        owner = proc.owner
+                        if owner is not None:
+                            resumes_by_owner[owner] += 1
+                        proc._waiting_on = None
+                        proc.resume_count += 1
+                        try:
+                            yielded = proc._gen.send(sent)
+                        except StopIteration as stop:
+                            proc.finished = True
+                            proc.result = stop.value
+                            proc._finish(self)
+                        except Exception as exc:  # noqa: BLE001
+                            proc.finished = True
+                            proc.exception = exc
+                            proc._finish(self)
+                            errors.append(ProcessError(proc, exc))
+                        else:
+                            if isinstance(yielded, Trigger):
+                                proc._waiting_on = yielded
+                                yielded._prime(self, proc)
+                            else:
+                                proc._handle_nontrigger_yield(self, yielded)
+                    # ---- update phase (inlined Signal._apply) ----
+                    if dts:
+                        # capture-and-clear before firing: triggers
+                        # scheduled while firing land in dts again and
+                        # run next delta
+                        fired.extend(dts)
+                        dts.clear()
+                    if updates:
+                        if len(updates) == 1:
+                            # common case: one signal changed
+                            items = (updates.popitem(),)
+                        else:
+                            items = list(updates.items())
+                            updates.clear()
+                        for signal, new in items:
+                            old = signal._value
+                            if new.xmask | new.zmask | old.xmask | old.zmask:
+                                # four-state path
+                                signal.fast_misses += 1
+                                if (
+                                    new.value == old.value
+                                    and new.xmask == old.xmask
+                                    and new.zmask == old.zmask
+                                    and new.width == old.width
+                                ):
+                                    continue
+                                lsb_new = (
+                                    new.value & 1
+                                    if not (new.xmask | new.zmask) & 1
+                                    else None
+                                )
+                                lsb_old = (
+                                    old.value & 1
+                                    if not (old.xmask | old.zmask) & 1
+                                    else None
+                                )
+                            else:
+                                # 2-state fast path
+                                signal.fast_hits += 1
+                                if (
+                                    new.value == old.value
+                                    and new.width == old.width
+                                ):
+                                    continue
+                                lsb_new = new.value & 1
+                                lsb_old = old.value & 1
+                            signal._value = new
+                            signal.change_count += 1
+                            changes += 1
+                            owner = signal.owner
+                            if owner is not None:
+                                changes_by_owner[owner] += 1
+                            if vcd is not None and signal._vcd_id is not None:
+                                vcd._record(time_now, signal)
+                            if signal._monitors:
+                                for cb in signal._monitors:
+                                    cb(signal, old, new)
+                            w = signal._w_any
+                            if w:
+                                fired.extend(w)
+                            w = signal._w_rise
+                            if w and lsb_new == 1 and lsb_old != 1:
+                                fired.extend(w)
+                            w = signal._w_fall
+                            if w and lsb_new == 0 and lsb_old != 0:
+                                fired.extend(w)
+                    if fired:
+                        try:
+                            for trig in fired:
+                                trig._fire(self)
+                        finally:
+                            fired.clear()
+                    if errors:
+                        raise errors.pop(0)
+            finally:
+                stats.resumes += resumes
+                stats.value_changes += changes
+                stats.deltas += deltas
+
+        timesteps = 1
+        try:
+            step_deltas(self.time)
+            while timed and not self._finished:
+                when = timed[0][0]
+                if until is not None and when > until:
+                    self.time = until
+                    return until
+                self.time = when
+                timesteps += 1
+                while timed and timed[0][0] == when:
+                    heappop(timed)[2]._fire(self)
+                step_deltas(when)
+        finally:
+            stats.timesteps += timesteps
         if until is not None and self.time < until and not self._finished:
             self.time = until
         return self.time

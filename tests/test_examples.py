@@ -1,5 +1,6 @@
 """Every shipped example must run to completion (no bit-rot)."""
 
+import os
 import runpy
 import subprocess
 import sys
@@ -8,6 +9,7 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 FAST_EXAMPLES = [
     "quickstart.py",
@@ -24,12 +26,21 @@ SLOW_EXAMPLES = [
 
 
 def run_example(name: str, args=(), cwd=None) -> subprocess.CompletedProcess:
+    # Examples import `repro`; prepend <repo>/src to PYTHONPATH (merged
+    # into the inherited environment, not replacing it) so they run
+    # from any cwd without `pip install -e .`.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        f"{SRC}{os.pathsep}{existing}" if existing else str(SRC)
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=cwd,
+        env=env,
     )
 
 
@@ -38,6 +49,26 @@ def test_fast_examples_run(name, tmp_path):
     result = run_example(name, cwd=tmp_path)
     assert result.returncode == 0, result.stderr
     assert "OK" in result.stdout
+
+
+def test_example_runs_from_temp_cwd_with_scrubbed_pythonpath(
+    tmp_path, monkeypatch
+):
+    """Regression: examples must not depend on the caller's PYTHONPATH.
+
+    The seed ran example subprocesses with ``cwd=tmp_path`` and no env,
+    so ``import repro`` only worked if the package happened to be
+    installed.  run_example must build an environment of its own with
+    ``<repo>/src`` prepended (and the inherited value preserved).
+    """
+    monkeypatch.setenv("PYTHONPATH", str(tmp_path / "unrelated"))
+    result = run_example("quickstart.py", cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
+    assert "OK" in result.stdout
+
+    monkeypatch.delenv("PYTHONPATH")
+    result = run_example("quickstart.py", cwd=tmp_path)
+    assert result.returncode == 0, result.stderr
 
 
 def test_optical_flow_demo_passes(tmp_path):
