@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Union
 
-__all__ = ["format_table", "format_ps", "Series"]
+__all__ = ["format_table", "format_ps", "canonical_json", "Series"]
 
 Cell = Union[str, int, float]
 
@@ -62,6 +63,16 @@ def format_table(
 def _is_numeric(text: str) -> bool:
     t = text.replace(",", "").replace(".", "").replace("-", "").replace("%", "")
     return t.isdigit()
+
+
+def canonical_json(data) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, trailing newline.
+
+    Reports serialized this way are byte-identical across runs and
+    platforms for equal inputs — the soak campaign's determinism guard
+    compares these strings directly.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ": "), indent=2) + "\n"
 
 
 def format_ps(ps: int) -> str:

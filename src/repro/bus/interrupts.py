@@ -45,6 +45,8 @@ class InterruptController(DcrRegisterFile):
         #: X values observed on request inputs — evidence that garbage
         #: from a reconfiguring region escaped into the static logic
         self.x_violations = 0
+        #: simulated time of the first violation (detection latency)
+        self.first_x_violation_at = None
         self.add_register("ISR", 0, on_read=lambda: self._pending,
                           on_write=self._ack)
         self.add_register("IER", 1, on_write=self._set_enable)
@@ -96,6 +98,8 @@ class InterruptController(DcrRegisterFile):
                 v = sig.value
                 if not v.is_defined:
                     self.x_violations += 1
+                    if self.first_x_violation_at is None:
+                        self.first_x_violation_at = self.sim.time
                 elif v.value & 1:
                     if not self._pending & (1 << i):
                         self.interrupts_raised += 1

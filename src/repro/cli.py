@@ -11,6 +11,9 @@ Commands:
 ``timeline``   the Figure 5 development-timeline model
 ``bench``      kernel throughput micro-benchmarks; ``--check`` gates
                against the committed BENCH_kernel.json baseline
+``soak``       seeded transient-fault soak campaign exercising the
+               detect/abort/retry recovery stack; ``--check`` fails on
+               silent corruption or hangs
 """
 
 from __future__ import annotations
@@ -223,6 +226,68 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_soak(args) -> int:
+    from .analysis.reporting import canonical_json, format_ps
+    from .verif import TRANSIENTS, run_soak_campaign
+
+    for key in args.transient:
+        if key not in TRANSIENTS:
+            print(f"unknown transient {key!r}; choose from "
+                  f"{', '.join(sorted(TRANSIENTS))}", file=sys.stderr)
+            return 2
+    report = run_soak_campaign(
+        methods=tuple(args.method) if args.method else ("resim", "vmux"),
+        frames=args.frames,
+        seed=args.seed,
+        transients=args.transient or None,
+    )
+
+    if args.json:
+        print(canonical_json(report.to_json_dict()), end="")
+    else:
+        rows = []
+        for r in report.runs:
+            det = r.detection_latency_ps
+            rec = r.recovery_latency_ps
+            rows.append(
+                (
+                    r.method,
+                    r.transient,
+                    r.outcome,
+                    format_ps(det) if det is not None else "-",
+                    format_ps(rec) if rec is not None else "-",
+                    r.result.frames_dropped,
+                    len(r.result.anomalies),
+                )
+            )
+        print(
+            format_table(
+                ["Method", "Transient", "Outcome", "Detect", "Recover",
+                 "Dropped", "Anomalies"],
+                rows,
+                title=f"Soak campaign (seed={report.seed}, "
+                      f"frames={report.frames})",
+            )
+        )
+        counts = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.counts().items())
+        )
+        print(f"outcomes: {counts}")
+
+    if args.check and not report.ok:
+        bad = [
+            f"{r.method}/{r.transient}: "
+            + ("silent corruption" if r.outcome == "silent-corruption"
+               else "hung")
+            for r in report.runs
+            if r.outcome == "silent-corruption" or r.result.hung
+        ]
+        for b in bad:
+            print(f"soak FAILURE - {b}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_timeline(_args) -> int:
     tl = build_timeline()
     rows = [
@@ -300,6 +365,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run only this kernel (repeatable)",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_soak = sub.add_parser(
+        "soak", help="seeded transient-fault soak campaign"
+    )
+    p_soak.add_argument("--frames", type=int, default=2)
+    p_soak.add_argument(
+        "--seed", type=int, default=7,
+        help="campaign seed; same seed -> byte-identical JSON report",
+    )
+    p_soak.add_argument(
+        "--method", action="append", default=[],
+        choices=("resim", "vmux"),
+        help="simulation method (repeatable; default: both)",
+    )
+    p_soak.add_argument(
+        "--transient", action="append", default=[],
+        help="inject only this transient (repeatable); default: all",
+    )
+    p_soak.add_argument(
+        "--json", action="store_true",
+        help="canonical machine-readable report",
+    )
+    p_soak.add_argument(
+        "--check", action="store_true",
+        help="fail on silent corruption or a hung run",
+    )
+    p_soak.set_defaults(func=_cmd_soak)
 
     args = parser.parse_args(argv)
     return args.func(args)

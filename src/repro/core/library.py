@@ -147,6 +147,7 @@ class ResimArtifacts:
         module,
         payload_words: int = DEFAULT_PAYLOAD_WORDS,
         seed: Optional[int] = None,
+        crc: bool = False,
     ) -> List[int]:
         """Generate a SimB addressing a region/module by name or id."""
         spec = self.region(region)
@@ -155,5 +156,6 @@ class ResimArtifacts:
         else:
             mod = spec.module_by_name(module)
         return build_simb(
-            spec.rr_id, mod.module_id, payload_words=payload_words, seed=seed
+            spec.rr_id, mod.module_id, payload_words=payload_words, seed=seed,
+            crc=crc,
         )

@@ -95,8 +95,8 @@ rc_poll:
         andi  r3, r3, 1
         cmpwi r3, 0
         beq   rc_poll
-        li    r3, 0
-        mtdcr r3, RC_STATUS      # acknowledge transfer done
+        li    r3, 1
+        mtdcr r3, RC_STATUS      # W1C acknowledge of the done bit
 """
     mm = system.memory_map
     return f"""

@@ -107,6 +107,11 @@ class Module:
         for ch in self.children:
             ch._elaborate(sim)
 
+    def warn(self, message: str) -> None:
+        """Emit a timestamped warning on the simulator's trace channel."""
+        if self.sim is not None:
+            self.sim.warn(f"{self.path}: {message}")
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

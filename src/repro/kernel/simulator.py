@@ -125,6 +125,9 @@ class Simulator:
         self._fired_scratch: List[Trigger] = []  # reused by _run_update
         self._processes: List[Process] = []
         self._errors: List[ProcessError] = []
+        #: (time_ps, message) records from Module.warn() — the trace
+        #: channel monitors/artifacts use for non-fatal conditions
+        self.warnings: List[Tuple[int, str]] = []
         self._vcd = None
         self._finished = False
         self._modules: List[object] = []
@@ -139,6 +142,10 @@ class Simulator:
 
     def register_signal(self, signal: Signal) -> None:
         signal._bind(self)
+
+    def warn(self, message: str) -> None:
+        """Record a timestamped simulation warning (trace channel)."""
+        self.warnings.append((self.time, message))
 
     def fork(self, gen: Generator, name: str = "proc", owner=None) -> Process:
         """Start a new process; it first runs in the next delta cycle."""

@@ -35,9 +35,13 @@ class IcapArtifact(Module):
         self.parser = SimBParser()
         self.portals: Dict[int, ExtendedPortal] = {}
         self.sig_data = self.signal("cfg_data", 32, init=0)
+        #: running framing-error count, as a signal so waveform/VCD
+        #: users see errors the moment they happen (not only post-run)
+        self.sig_errors = self.signal("cfg_errors", 16, init=0)
         self.words_received = 0
         self.ignored_words = 0
         self.framing_errors: List[str] = []
+        self.crc_failures = 0
         self._current_portal: Optional[ExtendedPortal] = None
         # state-saving extension: payload accumulation (for GRESTORE)
         # and the readback FIFO (for FDRO reads)
@@ -71,7 +75,7 @@ class IcapArtifact(Module):
         try:
             events = self.parser.push(word)
         except SimBError as exc:
-            self.framing_errors.append(str(exc))
+            self._record_error(str(exc), crc=self.parser.crc_failures > 0)
             self.parser = SimBParser()  # resync: wait for next SYNC word
             self._abort_current()
             return
@@ -80,13 +84,33 @@ class IcapArtifact(Module):
         for ev in events:
             self._dispatch(ev)
 
+    def _record_error(self, message: str, crc: bool = False) -> None:
+        """Latch a framing error where monitors (and humans) can see it."""
+        self.framing_errors.append(message)
+        if crc:
+            self.crc_failures += 1
+        self.sig_errors.next = min(len(self.framing_errors), 0xFFFF)
+        self.warn(f"SimB framing error: {message}")
+
+    def resync(self, reason: str) -> None:
+        """Force the parser back to IDLE (controller abort path).
+
+        Called by the IcapCTRL when its watchdog kills a wedged transfer
+        or when a completed transfer left the stream mid-reconfiguration
+        (truncated SimB): the port must not stay stuck waiting for
+        payload words that will never arrive.
+        """
+        if self.parser.state == SimBParser.IDLE:
+            return
+        self._record_error(f"resync forced ({reason})")
+        self.parser = SimBParser()
+        self._abort_current()
+
     def _dispatch(self, ev) -> None:
         if ev.kind == "far":
             portal = self.portals.get(ev.rr_id)
             if portal is None:
-                self.framing_errors.append(
-                    f"FAR addresses unknown RR {ev.rr_id:#x}"
-                )
+                self._record_error(f"FAR addresses unknown RR {ev.rr_id:#x}")
                 self._current_portal = None
                 return
             self._current_portal = portal
@@ -136,6 +160,7 @@ class IcapArtifact(Module):
         portal = self._current_portal
         self._current_portal = None
         if portal is not None and portal.injector.active:
+            portal.on_error()
             portal.injector.release()
             portal.on_desync()
 

@@ -29,16 +29,26 @@ constructor/driver parameters:
   interrupt resets the engines mid-transfer (bug.dpr.6b).
 
 DCR register map (offsets): 0 BADDR, 1 BSIZE (bytes), 2 CTRL
-(bit0 = start pulse), 3 STATUS (bit0 done, bit1 busy, bit2 error).
+(bit0 = start pulse), 3 STATUS (bit0 done, bit1 busy, bit2 error;
+done/error are write-1-to-clear, busy is read-only).
+
+Error reporting: errors reported by the ICAP (framing/CRC) and FIFO
+overflows always latch the STATUS error bit.  The active recovery
+machinery is opt-in (armed by the system when
+``SystemConfig.fault_tolerance`` is set): a configurable watchdog
+aborts a transfer that makes no progress for N bus cycles and raises
+the done interrupt so the driver can observe the error and retry, and
+``detect_truncation`` flags transfers that end while the ICAP is still
+mid-reconfiguration.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, List, Tuple
 
 from ..bus.dcr import DcrRegisterFile
-from ..kernel import Event, RisingEdge
+from ..kernel import Event, RisingEdge, Timer
 
 __all__ = ["IcapCtrl"]
 
@@ -60,6 +70,8 @@ class IcapCtrl(DcrRegisterFile):
         cfg_clock,
         fifo_depth: int = 16,
         arbitrated: bool = True,
+        watchdog_cycles: int = 0,
+        detect_truncation: bool = False,
         parent=None,
     ):
         super().__init__(name, base, size=8, parent=parent)
@@ -68,11 +80,17 @@ class IcapCtrl(DcrRegisterFile):
         self.bus_clock = bus_clock
         self.cfg_clock = cfg_clock
         self.fifo_depth = fifo_depth
+        #: fault-tolerance knob: abort a transfer that makes no progress
+        #: for this many bus cycles (0 disables the watchdog)
+        self.watchdog_cycles = watchdog_cycles
+        #: fault-tolerance knob: flag a transfer that completes while the
+        #: ICAP is still mid-reconfiguration (truncated SimB)
+        self.detect_truncation = detect_truncation
         self.port = bus.attach_master(f"{name}_dma", priority=1, arbitrated=arbitrated)
         self.add_register("BADDR", 0)
         self.add_register("BSIZE", 1)
         self.add_register("CTRL", 2, on_write=self._on_ctrl)
-        self.add_register("STATUS", 3, on_write=lambda _v: self.clear_done())
+        self.add_register("STATUS", 3, on_write=self._on_status)
         # readback DMA (state saving): destination + byte count
         self.add_register("RBADDR", 4)
         self.add_register("RBSIZE", 5)
@@ -83,17 +101,28 @@ class IcapCtrl(DcrRegisterFile):
         self.fifo_overflows = 0
         self.fifo_high_water = 0
         self.transfers_completed = 0
+        self.transfers_aborted = 0
         self.words_fetched = 0
         self.words_drained = 0
         #: fault knob: when True the fetcher ignores FIFO space (test
         #: scenario for FIFO overflow per §IV-B)
         self.ignore_fifo_space = False
+        #: transient-fault knobs: freeze the fetch (bus-side DMA stall)
+        #: or the drain (ICAP backpressure) until cleared
+        self.stall_fetch = False
+        self.stall_drain = False
+        #: (time_ps, reason) for every error latched into STATUS
+        self.error_events: List[Tuple[int, str]] = []
+        self._error_latched = False
+        self._abort_requested = False
+        self._icap_errors_seen = 0
         self._rb_start = Event(f"{name}.rb_start")
         self.readbacks_completed = 0
         self.words_read_back = 0
         self.process(self._fetch_proc, "fetch")
         self.process(self._drain_proc, "drain")
         self.process(self._readback_proc, "readback")
+        self.process(self._watchdog_proc, "watchdog")
 
     # ------------------------------------------------------------------
     # Register behaviour
@@ -107,6 +136,15 @@ class IcapCtrl(DcrRegisterFile):
             if self.sim is not None:
                 self._rb_start.set(self.sim)
 
+    def _on_status(self, value: int) -> None:
+        # write-1-to-clear, per bit (DONE and ERROR only; BUSY reflects
+        # the engine state and is read-only).  Clearing one condition
+        # must not silently drop the other.
+        clear = value & (STATUS_DONE | STATUS_ERROR)
+        self.poke("STATUS", self.peek("STATUS") & ~clear)
+        if clear & STATUS_ERROR:
+            self._error_latched = False
+
     def _set_status(self, done: bool, busy: bool, error: bool) -> None:
         self.poke(
             "STATUS",
@@ -115,6 +153,15 @@ class IcapCtrl(DcrRegisterFile):
             | (STATUS_ERROR if error else 0),
         )
 
+    def _latch_error(self, reason: str) -> None:
+        """Record an error condition and raise the STATUS error bit."""
+        self._error_latched = True
+        self.error_events.append(
+            (self.sim.time if self.sim is not None else 0, reason)
+        )
+        self.poke("STATUS", self.peek("STATUS") | STATUS_ERROR)
+        self.warn(reason)
+
     @property
     def status_done(self) -> bool:
         return bool(self.peek("STATUS") & STATUS_DONE)
@@ -122,6 +169,10 @@ class IcapCtrl(DcrRegisterFile):
     @property
     def status_busy(self) -> bool:
         return bool(self.peek("STATUS") & STATUS_BUSY)
+
+    @property
+    def status_error(self) -> bool:
+        return bool(self.peek("STATUS") & STATUS_ERROR)
 
     # ------------------------------------------------------------------
     # Fetch process (bus clock domain)
@@ -132,12 +183,18 @@ class IcapCtrl(DcrRegisterFile):
             baddr = self.peek("BADDR")
             bsize_bytes = self.peek("BSIZE")
             words = bsize_bytes // 4  # hardware contract: size in BYTES
+            self._error_latched = False
+            self._abort_requested = False
             self._set_status(done=False, busy=True, error=False)
             self.done_irq.next = 0
             self._fetch_done = False
+            overflows_at_start = self.fifo_overflows
             remaining = words
             addr = baddr
-            while remaining > 0:
+            while remaining > 0 and not self._abort_requested:
+                if self.stall_fetch:
+                    yield RisingEdge(self.bus_clock.out)
+                    continue
                 space = self.fifo_depth - len(self._fifo)
                 if space <= 0 and not self.ignore_fifo_space:
                     yield RisingEdge(self.bus_clock.out)
@@ -149,6 +206,10 @@ class IcapCtrl(DcrRegisterFile):
                 for w in data:
                     if len(self._fifo) >= self.fifo_depth:
                         self.fifo_overflows += 1  # word dropped
+                        if self.fifo_overflows == overflows_at_start + 1:
+                            self._latch_error(
+                                "FIFO overflow: bitstream word dropped"
+                            )
                         continue
                     self._fifo.append(w)
                 self.fifo_high_water = max(self.fifo_high_water, len(self._fifo))
@@ -164,23 +225,95 @@ class IcapCtrl(DcrRegisterFile):
         cfg = self.cfg_clock.out
         while True:
             yield RisingEdge(cfg)
+            if self.stall_drain:
+                continue
             if self._fifo:
                 word = self._fifo.popleft()
                 self.icap.write_word(word)
                 self.words_drained += 1
+                self._check_icap_errors()
                 if self._fetch_done and not self._fifo:
+                    if self._abort_requested:
+                        continue  # the watchdog already closed this one
                     # transfer complete: latch STATUS.done and pulse the
                     # interrupt line for two config-clock cycles
                     self.transfers_completed += 1
-                    self._set_status(done=True, busy=False, error=False)
+                    if self.detect_truncation and getattr(
+                        self.icap, "mid_reconfiguration", False
+                    ):
+                        self._latch_error(
+                            "transfer completed mid-reconfiguration "
+                            "(truncated SimB?)"
+                        )
+                        resync = getattr(self.icap, "resync", None)
+                        if resync is not None:
+                            resync("truncated SimB")
+                    self._set_status(
+                        done=True, busy=False, error=self._error_latched
+                    )
                     self.done_irq.next = 1
                     yield RisingEdge(cfg)
                     yield RisingEdge(cfg)
                     self.done_irq.next = 0
 
+    def _check_icap_errors(self) -> None:
+        """Surface new ICAP framing/CRC errors into STATUS.error."""
+        errors = getattr(self.icap, "framing_errors", None)
+        if errors is None:
+            return
+        n = len(errors)
+        if n > self._icap_errors_seen:
+            self._latch_error(f"ICAP reported: {errors[-1]}")
+            self._icap_errors_seen = n
+
+    # ------------------------------------------------------------------
+    # Watchdog (fault tolerance): abort a wedged transfer
+    # ------------------------------------------------------------------
+    def _watchdog_proc(self):
+        if self.watchdog_cycles <= 0:
+            return
+        window_ps = self.watchdog_cycles * self.bus_clock.period
+        cfg = self.cfg_clock.out
+        last = None
+        while True:
+            yield Timer(window_ps)
+            if not self.status_busy:
+                last = None
+                continue
+            progress = (
+                self.words_fetched, self.words_drained, self.words_read_back
+            )
+            if progress != last:
+                last = progress
+                continue
+            # no forward progress for a full window: kill the transfer
+            self._abort_transfer(
+                f"no DMA progress for {self.watchdog_cycles} bus cycles"
+            )
+            last = None
+            self.done_irq.next = 1
+            yield RisingEdge(cfg)
+            yield RisingEdge(cfg)
+            self.done_irq.next = 0
+
+    def _abort_transfer(self, reason: str) -> None:
+        self.transfers_aborted += 1
+        self._abort_requested = True
+        # clear any stall condition so the fetch process can unwind
+        self.stall_fetch = False
+        self.stall_drain = False
+        self._fifo.clear()
+        self._latch_error(f"transfer aborted: {reason}")
+        resync = getattr(self.icap, "resync", None)
+        if resync is not None:
+            resync(reason)
+        # DONE stays low: the driver reads busy=0 + error=1 and retries
+        self.poke("STATUS", STATUS_ERROR)
+
     def clear_done(self) -> None:
         """Acknowledge the transfer-done condition (driver helper)."""
         self._set_status(done=False, busy=False, error=False)
+        self._error_latched = False
 
     # ------------------------------------------------------------------
     # Readback process (state saving): ICAP read port -> memory
@@ -204,7 +337,7 @@ class IcapCtrl(DcrRegisterFile):
                 yield from self.port.write_block(dest, buffer)
             self.words_read_back += words
             self.readbacks_completed += 1
-            self._set_status(done=True, busy=False, error=False)
+            self._set_status(done=True, busy=False, error=self._error_latched)
             self.done_irq.next = 1
             yield RisingEdge(cfg)
             yield RisingEdge(cfg)

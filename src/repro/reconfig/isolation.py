@@ -37,6 +37,8 @@ class Isolation(Module):
         self._update = Event(f"{name}.update")
         #: count of X values that escaped to the static side
         self.x_leaks = 0
+        #: simulated time of the first leak (detection-latency metric)
+        self.first_x_leak_at = None
         self.process(self._gate, "gate")
 
     def set_enabled(self, enabled: bool) -> None:
@@ -47,12 +49,18 @@ class Isolation(Module):
 
     def _gate(self):
         slot = self.slot
+        # Per-source previous values: a leak is counted once per value
+        # *change* carrying X, not once per process wake-up (an edge on
+        # any sibling signal re-evaluates all four paths).
+        prev = {}
         while True:
             if self.enabled:
                 self.out_done.next = 0
                 self.out_busy.next = 0
                 self.out_error.next = 0
                 self.out_io.next = 0
+                # X re-exposed by a later disarm is a fresh leak
+                prev.clear()
             else:
                 for src, dst in (
                     (slot.out_done, self.out_done),
@@ -61,8 +69,11 @@ class Isolation(Module):
                     (slot.out_io, self.out_io),
                 ):
                     value = src.value
-                    if value.has_x:
+                    if value.has_x and value != prev.get(src):
                         self.x_leaks += 1
+                        if self.first_x_leak_at is None and self.sim is not None:
+                            self.first_x_leak_at = self.sim.time
+                    prev[src] = value
                     dst.next = value
             yield First(
                 self._update.wait(),

@@ -35,7 +35,7 @@ class PortalRecord:
     """One phase-transition event in the portal's timeline."""
 
     time: int
-    kind: str  # "far" | "inject_start" | "swap" | "desync"
+    kind: str  # "far" | "inject_start" | "swap" | "error" | "desync"
     module_id: Optional[int] = None
 
 
@@ -59,6 +59,7 @@ class ExtendedPortal(Module):
         #: fires after each completed module swap (data = module id)
         self.swap_done = Event(f"{name}.swap_done")
         self.unknown_module_errors = 0
+        self.aborted_loads = 0
         self.captures = 0
         self.capture_errors = 0
         self.restores = 0
@@ -109,6 +110,11 @@ class ExtendedPortal(Module):
         self._log("swap", self.pending_module)
         if self.sim is not None:
             self.swap_done.set(self.sim, self.pending_module)
+
+    def on_error(self) -> None:
+        """An aborted load (framing/CRC error or controller abort)."""
+        self.aborted_loads += 1
+        self._log("error", self.pending_module)
 
     def on_desync(self) -> None:
         self.in_during_phase = False

@@ -32,6 +32,7 @@ transfer time exactly, and odd lengths exercise FIFO corner cases
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
@@ -42,6 +43,7 @@ __all__ = [
     "NOOP",
     "TYPE1_WRITE_FAR",
     "TYPE1_WRITE_CMD",
+    "TYPE1_WRITE_CRC",
     "TYPE2_WRITE_FDRI",
     "TYPE2_READ_FDRO",
     "WCFG_CMD",
@@ -50,6 +52,7 @@ __all__ = [
     "GRESTORE_CMD",
     "far_encode",
     "far_decode",
+    "payload_crc",
     "build_simb",
     "build_capture_simb",
     "build_restore_simb",
@@ -65,6 +68,11 @@ SYNC_WORD = 0xAA995566
 NOOP = 0x20000000
 TYPE1_WRITE_FAR = 0x30002001
 TYPE1_WRITE_CMD = 0x30008001
+#: Type-1 write of the (simulated) CRC register — announces the
+#: expected CRC32 of the FDRI payload *before* the payload so the ICAP
+#: can verify integrity incrementally and refuse to commit the swap on
+#: the final word of a corrupted stream
+TYPE1_WRITE_CRC = 0x30000001
 TYPE2_WRITE_FDRI = 0x30004000
 #: Type-2 FDRI length words carry the size in the low 27 bits
 TYPE2_LEN_TAG = 0x50000000
@@ -101,14 +109,27 @@ def far_decode(fa: int) -> Tuple[int, int]:
     return (fa >> 24) & 0xFF, (fa >> 16) & 0xFF
 
 
+def payload_crc(words: Iterable[int]) -> int:
+    """CRC32 over the FDRI payload, words serialized big-endian."""
+    arr = np.asarray(list(words), dtype=np.uint64).astype(np.uint32)
+    return zlib.crc32(arr.astype(">u4").tobytes()) & 0xFFFF_FFFF
+
+
 def build_simb(
     rr_id: int,
     module_id: int,
     payload_words: int = DEFAULT_PAYLOAD_WORDS,
     seed: Optional[int] = None,
     leading_noops: int = 1,
+    crc: bool = False,
 ) -> List[int]:
-    """Construct a SimB word list in Table I's format."""
+    """Construct a SimB word list in Table I's format.
+
+    With ``crc=True`` a Type-1 CRC packet carrying the CRC32 of the
+    payload is inserted before the FDRI header (the fault-tolerant
+    bitstream format; the ICAP rejects a corrupted payload instead of
+    swapping the module in).
+    """
     if payload_words < 1:
         raise ValueError("a SimB needs at least one payload word")
     if payload_words > TYPE2_LEN_MASK:
@@ -121,15 +142,17 @@ def build_simb(
     words += [NOOP] * leading_noops
     words += [TYPE1_WRITE_FAR, far_encode(rr_id, module_id)]
     words += [TYPE1_WRITE_CMD, WCFG_CMD]
+    if crc:
+        words += [TYPE1_WRITE_CRC, payload_crc(payload)]
     words += [TYPE2_WRITE_FDRI, TYPE2_LEN_TAG | payload_words]
     words += [int(w) for w in payload]
     words += [TYPE1_WRITE_CMD, DESYNC_CMD]
     return words
 
 
-def simb_header_words(leading_noops: int = 1) -> int:
+def simb_header_words(leading_noops: int = 1, crc: bool = False) -> int:
     """Number of words before the payload begins."""
-    return 1 + leading_noops + 2 + 2 + 2
+    return 1 + leading_noops + 2 + 2 + 2 + (2 if crc else 0)
 
 
 def build_capture_simb(rr_id: int, read_words: int) -> List[int]:
@@ -157,7 +180,7 @@ def build_capture_simb(rr_id: int, read_words: int) -> List[int]:
 
 
 def build_restore_simb(
-    rr_id: int, module_id: int, state_words: Iterable[int]
+    rr_id: int, module_id: int, state_words: Iterable[int], crc: bool = False
 ) -> List[int]:
     """Bitstream that configures ``module_id`` *with* saved state.
 
@@ -169,6 +192,7 @@ def build_restore_simb(
     state = [int(w) & 0xFFFF_FFFF for w in state_words]
     if not state:
         raise ValueError("restore needs at least one state word")
+    crc_packet = [TYPE1_WRITE_CRC, payload_crc(state)] if crc else []
     return (
         [
             SYNC_WORD,
@@ -177,6 +201,9 @@ def build_restore_simb(
             far_encode(rr_id, module_id),
             TYPE1_WRITE_CMD,
             WCFG_CMD,
+        ]
+        + crc_packet
+        + [
             TYPE2_WRITE_FDRI,
             TYPE2_LEN_TAG | len(state),
         ]
@@ -189,9 +216,10 @@ def build_restore_simb(
 class SimBEvent:
     """One semantic action decoded from the SimB stream.
 
-    ``kind`` is one of ``sync``, ``noop``, ``far``, ``wcfg``, ``fdri``,
-    ``payload_start``, ``payload``, ``payload_end``, ``desync``,
-    ``gcapture``, ``grestore``, ``fdro`` (state-saving extension).
+    ``kind`` is one of ``sync``, ``noop``, ``far``, ``wcfg``, ``crc``,
+    ``fdri``, ``payload_start``, ``payload``, ``payload_end``,
+    ``desync``, ``gcapture``, ``grestore``, ``fdro`` (state-saving
+    extension).
     ``value`` carries the raw word for ``payload`` events so restore
     streams can deliver saved state.
     """
@@ -218,6 +246,7 @@ class SimBParser:
     SYNCED = "synced"
     AWAIT_FAR = "await_far"
     AWAIT_CMD = "await_cmd"
+    AWAIT_CRC = "await_crc"
     AWAIT_LEN = "await_len"
     AWAIT_RDLEN = "await_rdlen"
     PAYLOAD = "payload"
@@ -230,6 +259,11 @@ class SimBParser:
         self.payload_expected = 0
         self.payload_seen = 0
         self.wcfg_seen = False
+        #: announced payload CRC32 (None when the SimB carries no CRC
+        #: packet — legacy streams stay accepted)
+        self.expected_crc: Optional[int] = None
+        self._running_crc = 0
+        self.crc_failures = 0
         self.completed_loads: List[Tuple[int, int]] = []
 
     def push(self, word: int) -> List[SimBEvent]:
@@ -255,8 +289,25 @@ class SimBParser:
                         self.payload_expected,
                     )
                 )
+            if self.expected_crc is not None:
+                self._running_crc = zlib.crc32(
+                    word.to_bytes(4, "big"), self._running_crc
+                )
             events.append(SimBEvent("payload", i, value=word))
             if self.payload_seen == self.payload_expected:
+                if (
+                    self.expected_crc is not None
+                    and self._running_crc != self.expected_crc
+                ):
+                    # raise BEFORE emitting payload_end: a corrupted
+                    # payload must never commit a module swap
+                    self.crc_failures += 1
+                    raise SimBError(
+                        f"FDRI payload CRC mismatch at index {i}: "
+                        f"expected {self.expected_crc:#010x}, "
+                        f"got {self._running_crc:#010x}"
+                    )
+                self.expected_crc = None
                 events.append(
                     SimBEvent(
                         "payload_end", i, self.rr_id, self.module_id,
@@ -275,6 +326,8 @@ class SimBParser:
                 self.state = self.AWAIT_FAR
             elif word == TYPE1_WRITE_CMD:
                 self.state = self.AWAIT_CMD
+            elif word == TYPE1_WRITE_CRC:
+                self.state = self.AWAIT_CRC
             elif word == TYPE2_WRITE_FDRI:
                 self.state = self.AWAIT_LEN
             elif word == TYPE2_READ_FDRO:
@@ -290,6 +343,13 @@ class SimBParser:
             self.rr_id, self.module_id = far_decode(word)
             self.state = self.SYNCED
             events.append(SimBEvent("far", i, self.rr_id, self.module_id))
+            return events
+
+        if st == self.AWAIT_CRC:
+            self.expected_crc = word
+            self._running_crc = 0
+            self.state = self.SYNCED
+            events.append(SimBEvent("crc", i, value=word))
             return events
 
         if st == self.AWAIT_CMD:
@@ -356,6 +416,8 @@ class SimBParser:
         self.payload_expected = 0
         self.payload_seen = 0
         self.wcfg_seen = False
+        self.expected_crc = None
+        self._running_crc = 0
 
     @property
     def mid_reconfiguration(self) -> bool:

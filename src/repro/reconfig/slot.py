@@ -111,6 +111,18 @@ class RRSlot(Module):
         self._injection_fn = None
         self._notify()
 
+    def clear_injection_if(self, values_fn: Callable[[], Dict[str, object]]) -> bool:
+        """Clear the override only if ``values_fn`` is the one installed.
+
+        Transient-fault injectors use this so that releasing their X
+        burst cannot stomp a *real* reconfiguration's error injection
+        that started in the meantime.
+        """
+        if self._injection_fn is not values_fn:
+            return False
+        self.clear_injection()
+        return True
+
     @property
     def injecting(self) -> bool:
         return self._injection_fn is not None

@@ -68,12 +68,26 @@ class SystemConfig:
     #: ablation knobs (resim method only) — see DESIGN.md §5
     injector_policy: str = "x"  # "x" | "none"
     portal_swap_early: bool = False
+    #: the fault-tolerance stack: CRC'd SimBs, IcapCTRL transfer
+    #: watchdog + truncation detection, and the driver's bounded-retry /
+    #: graceful-degradation policy.  Off by default so the historical
+    #: bug reproductions keep their original (unprotected) behaviour.
+    fault_tolerance: bool = False
+    #: watchdog no-progress window in bus cycles (fault_tolerance only)
+    watchdog_cycles: int = 1024
+    #: driver retry policy (fault_tolerance only)
+    max_reconfig_attempts: int = 3
+    retry_backoff_cycles: int = 64
 
     def __post_init__(self) -> None:
         if self.method not in ("resim", "vmux", "dcs"):
             raise ValueError(f"unknown simulation method {self.method!r}")
         if self.injector_policy not in ("x", "none"):
             raise ValueError(f"unknown injector policy {self.injector_policy!r}")
+        if self.watchdog_cycles < 1:
+            raise ValueError("watchdog_cycles must be >= 1")
+        if self.max_reconfig_attempts < 1:
+            raise ValueError("max_reconfig_attempts must be >= 1")
 
     def scene(self) -> SceneConfig:
         return SceneConfig(
@@ -214,6 +228,10 @@ class AutoVisionSystem(Module):
             bus_clock=self.bus_clock,
             cfg_clock=self.cfg_clock,
             arbitrated="dpr.4" not in faults,
+            watchdog_cycles=(
+                config.watchdog_cycles if config.fault_tolerance else 0
+            ),
+            detect_truncation=config.fault_tolerance,
             parent=self,
         )
         if config.method == "vmux":
@@ -287,14 +305,31 @@ class AutoVisionSystem(Module):
     # ------------------------------------------------------------------
     def _load_bitstreams(self) -> None:
         """Place the partial SimBs for both engines in main memory."""
-        for module_name, base in (("cie", self.memory_map.bs_cie),
-                                  ("me", self.memory_map.bs_me)):
+        self._pristine_simbs = {}
+        for module_name, module_id, base in (
+            ("cie", self.cie.ENGINE_ID, self.memory_map.bs_cie),
+            ("me", self.me.ENGINE_ID, self.memory_map.bs_me),
+        ):
             words = self.artifacts.simb_for(
                 "video_rr", module_name,
                 payload_words=self.config.simb_payload_words,
+                crc=self.config.fault_tolerance,
             )
-            self.memory.load_words(base, np.array(words, dtype=np.uint32))
+            image = np.array(words, dtype=np.uint32)
+            self.memory.load_words(base, image)
+            self._pristine_simbs[module_id] = image
         self.bitstream_words = len(words)
+
+    def refresh_bitstream(self, module_id: int) -> None:
+        """Rewrite a module's SimB from its pristine image.
+
+        Models the recovery driver reloading the partial bitstream from
+        non-volatile storage, which is what makes in-memory corruption
+        transients recoverable.
+        """
+        self.memory.load_words(
+            self.bitstream_base(module_id), self._pristine_simbs[module_id]
+        )
 
     def bitstream_base(self, module_id: int) -> int:
         if module_id == self.cie.ENGINE_ID:
@@ -307,7 +342,8 @@ class AutoVisionSystem(Module):
         """True size of each partial bitstream in bytes (HW contract)."""
         from ..reconfig.simb import simb_header_words
 
-        return (simb_header_words() + self.config.simb_payload_words + 2) * 4
+        header = simb_header_words(crc=self.config.fault_tolerance)
+        return (header + self.config.simb_payload_words + 2) * 4
 
     def build(self, profile: Optional[bool] = None) -> Simulator:
         """Create a simulator and elaborate the system into it."""

@@ -43,6 +43,11 @@ SCENARIOS: Dict[str, SystemConfig] = {
     "slow-config-clock": SystemConfig(
         width=96, height=72, simb_payload_words=384, cfg_mhz=10.0
     ),
+    # CI-scale run with the fault-tolerance stack armed: CRC'd SimBs,
+    # transfer watchdog, truncation detection, driver retry/degradation
+    "tiny-ft": SystemConfig(
+        width=48, height=32, simb_payload_words=128, fault_tolerance=True
+    ),
     # the Virtual Multiplexing baseline at the benchmark geometry
     "vmux-baseline": SystemConfig(
         method="vmux", width=96, height=72, simb_payload_words=384

@@ -50,8 +50,10 @@ __all__ = [
     "render_motion_overlay",
 ]
 
-#: IcapCtrl STATUS bit
+#: IcapCtrl STATUS bits (done/error are write-1-to-clear)
 RC_STATUS_DONE = 0b001
+RC_STATUS_BUSY = 0b010
+RC_STATUS_ERROR = 0b100
 #: EngineRegs STATUS bits
 ENG_STATUS_DONE = 0b001
 
@@ -119,9 +121,23 @@ class ResimReconfigStrategy(ReconfigStrategy):
         deadline = sw.sim.time + sw.reconfig_timeout_ps
         while sw.sim.time < deadline:
             status = yield from sw.dcr_read(ctrl.addr_of("STATUS"))
-            if status is not None and status & RC_STATUS_DONE:
-                yield from sw.dcr_write(ctrl.addr_of("STATUS"), 0)  # ack
-                return True
+            if status is not None:
+                if status & RC_STATUS_DONE:
+                    # W1C acknowledge of done only; a latched error bit
+                    # is left for the recovery wrapper to inspect
+                    yield from sw.dcr_write(
+                        ctrl.addr_of("STATUS"), RC_STATUS_DONE
+                    )
+                    if sw.fault_tolerance and status & RC_STATUS_ERROR:
+                        return False
+                    return True
+                if (
+                    sw.fault_tolerance
+                    and status & RC_STATUS_ERROR
+                    and not status & RC_STATUS_BUSY
+                ):
+                    # watchdog abort: transfer died without reaching done
+                    return False
             yield Timer(self.POLL_CYCLES * period)
         sw.record_anomaly(f"reconfiguration to module {module_id:#x} timed out")
         return False
@@ -192,6 +208,14 @@ class AutoVisionSoftware(Module):
         self.frames_processed = 0
         self.frames_drawn = 0
         self.finished = False
+        # fault-tolerance / recovery policy (see SystemConfig)
+        self.fault_tolerance = system.config.fault_tolerance
+        self.max_reconfig_attempts = system.config.max_reconfig_attempts
+        self.retry_backoff_cycles = system.config.retry_backoff_cycles
+        self.frames_dropped = 0
+        self.reconfig_retries = 0
+        #: (time_ps, message) records of every recovery action taken
+        self.recovery_log: List[Tuple[int, str]] = []
         #: fired (data=frame index) after each frame's overlay is drawn
         self.frame_drawn = Event("frame_drawn")
         #: fired once when the requested run completes or aborts
@@ -262,6 +286,84 @@ class AutoVisionSoftware(Module):
         regs = self.system.engine_regs
         yield from self.dcr_write(regs.addr_of("ISO"), 1 if enabled else 0)
 
+    def _log_recovery(self, message: str) -> None:
+        self.recovery_log.append((self.sim.time, message))
+
+    def _clear_reconfig_error(self):
+        """Read IcapCtrl STATUS; W1C-clear and report a latched error."""
+        if not isinstance(self.strategy, ResimReconfigStrategy):
+            return False
+        ctrl = self.system.icapctrl
+        status = yield from self.dcr_read(ctrl.addr_of("STATUS"))
+        if status is None or not status & RC_STATUS_ERROR:
+            return False
+        yield from self.dcr_write(ctrl.addr_of("STATUS"), RC_STATUS_ERROR)
+        return True
+
+    def _reconfigure_with_recovery(self, target_id: int, label: str):
+        """Reconfigure with the bounded-retry / degradation policy.
+
+        Returns ``"ok"`` (module loaded, isolation dropped),
+        ``"degraded"`` (retries exhausted — the fallback engine was
+        reloaded instead and the caller should drop this frame) or
+        ``"fatal"`` (nothing could be loaded; isolation stays armed so
+        the static side remains X-free, and the run should abort).
+
+        Without ``fault_tolerance`` this is the original unprotected
+        sequence: one attempt, ``"ok"`` or ``"fatal"``.
+        """
+        system = self.system
+        arm_isolation = "dpr.1" not in self.faults
+        if not self.fault_tolerance:
+            if arm_isolation:
+                yield from self._set_isolation(True)
+            ok = yield from self.strategy.reconfigure(self, target_id)
+            yield from self._set_isolation(False)
+            return "ok" if ok else "fatal"
+
+        period = system.bus_clock.period
+        for attempt in range(1, self.max_reconfig_attempts + 1):
+            if attempt > 1:
+                self.reconfig_retries += 1
+                # reload the SimB from (modeled) non-volatile storage —
+                # this is what makes memory-corruption transients
+                # recoverable — then back off exponentially
+                system.refresh_bitstream(target_id)
+                backoff = self.retry_backoff_cycles << (attempt - 2)
+                yield Timer(backoff * period)
+            if arm_isolation:
+                yield from self._set_isolation(True)
+            ok = yield from self.strategy.reconfigure(self, target_id)
+            error = yield from self._clear_reconfig_error()
+            if ok and not error:
+                yield from self._set_isolation(False)
+                if attempt > 1:
+                    self._log_recovery(
+                        f"{label}: recovered on attempt {attempt}"
+                    )
+                return "ok"
+            # keep isolation armed: the region may be half-configured
+            self._log_recovery(f"{label}: attempt {attempt} failed")
+
+        # retries exhausted — degrade gracefully: put the steady-state
+        # resident engine (CIE) back so the pipeline can keep running,
+        # at the cost of dropping this frame
+        fallback_id = system.cie.ENGINE_ID
+        system.refresh_bitstream(fallback_id)
+        ok = yield from self.strategy.reconfigure(self, fallback_id)
+        error = yield from self._clear_reconfig_error()
+        if ok and not error:
+            yield from self._set_isolation(False)
+            self._log_recovery(
+                f"{label}: degraded — reloaded fallback engine "
+                f"{fallback_id:#x}, dropping frame"
+            )
+            return "degraded"
+        # nothing loads: leave isolation armed (X-free static side)
+        self.record_anomaly(f"{label}: unrecoverable reconfiguration failure")
+        self._log_recovery(f"{label}: unrecoverable, isolation kept armed")
+        return "fatal"
+
     def _log_phase(self, name: str, start_ps: int) -> None:
         self.phase_log.append((name, start_ps, self.sim.time))
 
@@ -300,10 +402,17 @@ class AutoVisionSoftware(Module):
 
         ok = True
         for f in range(n_frames):
-            ok = yield from self._process_frame(f)
-            if not ok:
+            status = yield from self._process_frame(f)
+            if status == "ok":
+                self.frames_processed += 1
+            elif status == "dropped":
+                self.frames_dropped += 1
+                self._log_recovery(
+                    f"frame {f} dropped (degraded reconfiguration)"
+                )
+            else:
+                ok = False
                 break
-            self.frames_processed += 1
 
         # wait for the drawer to drain, then report
         if ok:
@@ -318,6 +427,7 @@ class AutoVisionSoftware(Module):
         self.run_complete.set(self.sim, self.frames_processed)
 
     def _process_frame(self, f: int):
+        """One frame; returns ``"ok"``, ``"dropped"`` or ``"abort"``."""
         system = self.system
         cfg = system.config
         mm = system.memory_map
@@ -340,18 +450,17 @@ class AutoVisionSoftware(Module):
         yield from self.dcr_write(regs.addr_of("DST"), mm.feat[f % 2])
         yield from self._start_engine(reset=True)
         if not (yield from self._wait_engine_done()):
-            return False
+            return "abort"
         self._log_phase("cie", t0)
 
         # -- DPR #1: CIE -> ME ------------------------------------------------
         t0 = self._enter_phase("dpr")
-        if "dpr.1" not in self.faults:
-            yield from self._set_isolation(True)
-        ok = yield from self.strategy.reconfigure(self, system.me.ENGINE_ID)
-        yield from self._set_isolation(False)
-        if not ok:
-            return False
+        outcome = yield from self._reconfigure_with_recovery(
+            system.me.ENGINE_ID, f"frame {f} dpr#1"
+        )
         self._log_phase("dpr", t0)
+        if outcome != "ok":
+            return "dropped" if outcome == "degraded" else "abort"
 
         # -- ME phase -----------------------------------------------------------
         t0 = self._enter_phase("me")
@@ -364,23 +473,22 @@ class AutoVisionSoftware(Module):
         yield from self.dcr_write(regs.addr_of("DST"), mm.vec[f % 2])
         yield from self._start_engine(reset="dpr.3" not in self.faults)
         if not (yield from self._wait_engine_done()):
-            return False
+            return "abort"
         self._log_phase("me", t0)
 
         # -- DPR #2: ME -> CIE ---------------------------------------------------
         t0 = self._enter_phase("dpr")
-        if "dpr.1" not in self.faults:
-            yield from self._set_isolation(True)
-        ok = yield from self.strategy.reconfigure(self, system.cie.ENGINE_ID)
-        yield from self._set_isolation(False)
-        if not ok:
-            return False
+        outcome = yield from self._reconfigure_with_recovery(
+            system.cie.ENGINE_ID, f"frame {f} dpr#2"
+        )
         self._log_phase("dpr", t0)
+        if outcome != "ok":
+            return "dropped" if outcome == "degraded" else "abort"
 
         # -- hand the finished vectors to the drawing thread -----------------
         self._draw_queue.try_put((f, mm.vec[f % 2], mm.out[f % 2]))
         self.current_phase = "idle"
-        return True
+        return "ok"
 
     # ------------------------------------------------------------------
     # The drawer (ISR/background thread of the pipelined flow)

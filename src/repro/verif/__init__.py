@@ -9,11 +9,20 @@ This package is the experimental engine behind the paper's evaluation:
   the system produces,
 * :mod:`~repro.verif.campaign` — runs the system with a bug injected
   under Virtual Multiplexing and under ReSim and classifies the outcome
-  (detected / missed / false alarm / not applicable).
+  (detected / missed / false alarm / not applicable),
+* :mod:`~repro.verif.transients` — seeded transient-fault injection and
+  the soak campaign exercising the detect/abort/retry recovery stack.
 """
 
 from .coverage import DprCoverage
 from .faults import BUGS, BugSpec, validate_fault_keys
+from .transients import (
+    TRANSIENTS,
+    SoakReport,
+    SoakRun,
+    TransientSpec,
+    run_soak_campaign,
+)
 from .monitor import (
     PlbTrafficMonitor,
     PlbTransactionRecord,
@@ -38,4 +47,9 @@ __all__ = [
     "CampaignResult",
     "run_bug_campaign",
     "run_system",
+    "TRANSIENTS",
+    "TransientSpec",
+    "SoakRun",
+    "SoakReport",
+    "run_soak_campaign",
 ]

@@ -29,11 +29,14 @@ def _collect_monitors(system) -> Dict[str, int]:
         "dcr_chain_breaks": system.dcr.chain_break_observed,
         "plb_protocol_errors": system.bus.protocol_errors,
         "icapctrl_fifo_overflows": system.icapctrl.fifo_overflows,
+        "icapctrl_errors": len(system.icapctrl.error_events),
+        "icapctrl_transfer_aborts": system.icapctrl.transfers_aborted,
         "lost_start_pulses": system.slot.lost_start_pulses,
         "lost_reset_pulses": system.slot.lost_reset_pulses,
     }
     if system.artifacts is not None:
         monitors["simb_framing_errors"] = len(system.artifacts.icap.framing_errors)
+        monitors["simb_crc_failures"] = system.artifacts.icap.crc_failures
         monitors["unknown_module_swaps"] = sum(
             p.unknown_module_errors for p in system.artifacts.portals.values()
         )
@@ -44,14 +47,22 @@ def run_system(
     config: SystemConfig,
     n_frames: int = 2,
     timeout_frames_factor: float = 6.0,
+    prepare=None,
 ) -> RunResult:
-    """Build, run and check one complete system simulation."""
+    """Build, run and check one complete system simulation.
+
+    ``prepare(system, software, sim)``, when given, is called after
+    elaboration but before the software starts — the hook transient
+    injectors use to arm themselves.
+    """
     validate_fault_keys(config.faults)
     system = AutoVisionSystem(config)
     software = AutoVisionSoftware(system)
     sim = system.build()
     scoreboard = SystemScoreboard(system, software)
     scoreboard.start(sim)
+    if prepare is not None:
+        prepare(system, software, sim)
 
     frame_cycles = 16 * config.width * config.height
     timeout_ps = int(
@@ -69,10 +80,13 @@ def run_system(
         frames_requested=n_frames,
         frames_processed=software.frames_processed,
         frames_drawn=software.frames_drawn,
+        frames_dropped=software.frames_dropped,
         hung=not software.finished,
         checks=list(scoreboard.checks),
         software_anomalies=list(software.anomalies),
         monitors=_collect_monitors(system),
+        recovery_log=list(software.recovery_log),
+        warnings=list(sim.warnings),
         sim_time_ps=sim.time,
         kernel_events=sim.stats.events,
         elapsed_s=elapsed,

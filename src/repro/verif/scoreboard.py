@@ -109,10 +109,17 @@ class RunResult:
     frames_requested: int
     frames_processed: int = 0
     frames_drawn: int = 0
+    #: frames sacrificed by the graceful-degradation recovery path
+    frames_dropped: int = 0
     hung: bool = False
     checks: List[FrameCheck] = field(default_factory=list)
     software_anomalies: List[str] = field(default_factory=list)
     monitors: Dict[str, int] = field(default_factory=dict)
+    #: (time_ps, message) recovery actions the driver took
+    recovery_log: List[tuple] = field(default_factory=list)
+    #: (time_ps, message) simulator warnings (framing errors, watchdog
+    #: aborts, ...) — the detection evidence trail
+    warnings: List[tuple] = field(default_factory=list)
     sim_time_ps: int = 0
     kernel_events: int = 0
     elapsed_s: float = 0.0
@@ -136,12 +143,16 @@ class RunResult:
         for name, count in sorted(self.monitors.items()):
             if count:
                 out.append(f"monitor {name}: {count}")
+        if self.frames_dropped:
+            out.append(
+                f"frames dropped by degraded recovery: {self.frames_dropped}"
+            )
         if self.hung:
             out.append(
                 f"system hang: {self.frames_drawn}/{self.frames_requested} "
                 f"frames completed"
             )
-        elif self.frames_drawn < self.frames_requested:
+        elif self.frames_drawn + self.frames_dropped < self.frames_requested:
             out.append(
                 f"run aborted after {self.frames_drawn}/"
                 f"{self.frames_requested} frames"

@@ -1,0 +1,195 @@
+"""The fault-tolerance stack: CRC'd SimBs, W1C STATUS, watchdog, truncation.
+
+Detection must fire *before* damage commits (a corrupt payload never
+swaps the slot) and every abort path must leave the machinery in a
+state a driver can retry from: STATUS error latched, ICAP resynced,
+error injection released.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reconfig import SimBError, SimBParser, build_simb, decode_simb
+from repro.reconfig.icapctrl import STATUS_DONE, STATUS_ERROR
+from repro.reconfig.simb import TYPE1_WRITE_CRC, payload_crc, simb_header_words
+
+from .test_machinery import BITSTREAM_BASE, RR_ID, MachineryBench
+
+
+class TestCrcSimB:
+    def test_crc_adds_one_packet_to_header(self):
+        assert simb_header_words(crc=True) == simb_header_words() + 2
+        words = build_simb(1, 2, payload_words=16, crc=True)
+        assert len(words) == simb_header_words(crc=True) + 16 + 2
+        assert TYPE1_WRITE_CRC in words
+        # the CRC packet sits between WCFG and the FDRI header, so the
+        # parser knows the expected value before the payload starts
+        idx = words.index(TYPE1_WRITE_CRC)
+        assert words[idx + 1] == payload_crc(words[simb_header_words(crc=True):-2])
+
+    def test_good_crc_parses_clean(self):
+        words = build_simb(1, 2, payload_words=16, crc=True)
+        events = decode_simb(words)
+        kinds = [e.kind for e in events]
+        assert "crc" in kinds
+        assert "payload_end" in kinds
+        assert kinds[-1] == "desync"
+
+    def test_bitflip_raises_before_payload_end(self):
+        words = build_simb(1, 2, payload_words=16, crc=True)
+        words[simb_header_words(crc=True) + 5] ^= 0x0000_0100
+        parser = SimBParser()
+        events = []
+        with pytest.raises(SimBError, match="CRC mismatch"):
+            for w in words:
+                events.extend(parser.push(w))
+        assert parser.crc_failures == 1
+        assert "payload_end" not in [e.kind for e in events]
+
+    def test_simb_without_crc_is_unchecked(self):
+        words = build_simb(1, 2, payload_words=16)
+        words[simb_header_words() + 5] ^= 0x0000_0100
+        events = decode_simb(words)  # legacy format: corruption sails by
+        assert "payload_end" in [e.kind for e in events]
+
+
+class TestStatusW1C:
+    def _completed_bench(self):
+        bench = MachineryBench()
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = bench.load_simb(bench.me.ENGINE_ID)
+        bench.start_transfer(n * 4)
+        assert bench.run_until_done()
+        return bench
+
+    def test_write_zero_does_not_clear(self):
+        bench = self._completed_bench()
+        bench.icapctrl._on_status(0)
+        assert bench.icapctrl.status_done
+
+    def test_write_one_clears_done(self):
+        bench = self._completed_bench()
+        bench.icapctrl._on_status(STATUS_DONE)
+        assert not bench.icapctrl.status_done
+
+    def test_clearing_done_preserves_error(self):
+        bench = self._completed_bench()
+        bench.icapctrl._latch_error("synthetic")
+        bench.icapctrl._on_status(STATUS_DONE)
+        assert not bench.icapctrl.status_done
+        assert bench.icapctrl.status_error  # not silently dropped
+
+    def test_clearing_error_preserves_done(self):
+        bench = self._completed_bench()
+        bench.icapctrl._latch_error("synthetic")
+        bench.icapctrl._on_status(STATUS_ERROR)
+        assert bench.icapctrl.status_done
+        assert not bench.icapctrl.status_error
+
+
+class TestWatchdog:
+    def test_stalled_fetch_aborted_and_retryable(self):
+        bench = MachineryBench()
+        bench.icapctrl.watchdog_cycles = 256
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = bench.load_simb(bench.me.ENGINE_ID)
+        bench.icapctrl.stall_fetch = True  # lost bus grant
+        bench.start_transfer(n * 4)
+        bench.sim.run_for(20_000_000)
+        ctrl = bench.icapctrl
+        assert ctrl.transfers_aborted == 1
+        assert ctrl.status_error and not ctrl.status_done
+        assert not ctrl.stall_fetch  # abort cleared the stall
+        assert len(ctrl._fifo) == 0
+        assert not bench.injector.active  # isolation path released
+        assert not bench.icap.mid_reconfiguration  # parser resynced
+        # the machinery accepts a clean retry afterwards
+        ctrl.clear_done()
+        bench.load_simb(bench.me.ENGINE_ID)
+        bench.start_transfer(n * 4)
+        assert bench.run_until_done()
+        bench.sim.run_for(1_000_000)
+        assert bench.slot.active is bench.me
+
+    def test_watchdog_quiet_on_healthy_transfer(self):
+        bench = MachineryBench()
+        bench.icapctrl.watchdog_cycles = 256
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = bench.load_simb(bench.me.ENGINE_ID)
+        bench.start_transfer(n * 4)
+        assert bench.run_until_done()
+        bench.sim.run_for(5_000_000)
+        assert bench.icapctrl.transfers_aborted == 0
+        assert not bench.icapctrl.status_error
+
+    def test_disabled_watchdog_lets_stall_wedge(self):
+        """Without fault tolerance the historical behaviour persists."""
+        bench = MachineryBench()
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = bench.load_simb(bench.me.ENGINE_ID)
+        bench.icapctrl.stall_fetch = True
+        bench.start_transfer(n * 4)
+        assert not bench.run_until_done(timeout_us=20)
+        assert bench.icapctrl.transfers_aborted == 0
+        assert bench.icapctrl.status_busy  # stuck, as the bug would be
+
+
+class TestTruncationDetection:
+    def test_truncated_transfer_flagged_and_resynced(self):
+        bench = MachineryBench()
+        bench.icapctrl.detect_truncation = True
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = bench.load_simb(bench.me.ENGINE_ID)
+        bench.start_transfer(n)  # dpr.5: byte count given in words
+        assert bench.run_until_done()
+        bench.sim.run_for(1_000_000)
+        ctrl = bench.icapctrl
+        assert ctrl.status_error
+        assert bench.portal.reconfigurations == 0
+        assert not bench.icap.mid_reconfiguration  # resynced, not wedged
+        assert not bench.injector.active
+
+    def test_without_detection_truncation_is_silent(self):
+        bench = MachineryBench()
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = bench.load_simb(bench.me.ENGINE_ID)
+        bench.start_transfer(n)
+        assert bench.run_until_done()
+        assert not bench.icapctrl.status_error  # historical silent loss
+        assert bench.icap.mid_reconfiguration
+
+
+class TestCrcEndToEnd:
+    def _load_crc_simb(self, bench, module_id, flip_bit=False):
+        words = build_simb(
+            RR_ID, module_id, bench.payload_words, crc=True
+        )
+        if flip_bit:
+            words[simb_header_words(crc=True) + 3] ^= 1
+        bench.mem.load_words(BITSTREAM_BASE, np.array(words, dtype=np.uint32))
+        return len(words)
+
+    def test_clean_crc_simb_swaps(self):
+        bench = MachineryBench()
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = self._load_crc_simb(bench, bench.me.ENGINE_ID)
+        bench.start_transfer(n * 4)
+        assert bench.run_until_done()
+        bench.sim.run_for(1_000_000)
+        assert bench.slot.active is bench.me
+        assert bench.icap.crc_failures == 0
+
+    def test_corrupt_payload_never_commits_swap(self):
+        bench = MachineryBench()
+        bench.slot.select(bench.cie.ENGINE_ID)
+        n = self._load_crc_simb(bench, bench.me.ENGINE_ID, flip_bit=True)
+        bench.start_transfer(n * 4)
+        assert bench.run_until_done()
+        bench.sim.run_for(1_000_000)
+        assert bench.icap.crc_failures == 1
+        assert bench.portal.reconfigurations == 0
+        assert bench.portal.aborted_loads == 1
+        assert bench.slot.active is None  # load aborted mid-flight...
+        assert not bench.injector.active  # ...but injection released
+        assert bench.icapctrl.status_error  # and the driver can see it
+        assert len(bench.sim.warnings) > 0  # trace channel has the story

@@ -105,7 +105,8 @@ def run_capture_readback(bench, read_words=6):
     assert bench.run_until_done()
 
     def rb_driver():
-        yield from bench.dcr.write(bench.icapctrl.addr_of("STATUS"), 0)
+        # W1C acknowledge of the previous transfer's done bit
+        yield from bench.dcr.write(bench.icapctrl.addr_of("STATUS"), 1)
         yield from bench.dcr.write(bench.icapctrl.addr_of("RBADDR"), SAVE_BASE)
         yield from bench.dcr.write(
             bench.icapctrl.addr_of("RBSIZE"), read_words * 4

@@ -43,3 +43,15 @@ def test_tiny_scenario_runs():
 
     res = run_system(scenario("tiny"), n_frames=1)
     assert not res.detected
+
+
+def test_tiny_ft_scenario_runs_clean():
+    """Fault tolerance must add zero anomalies to a fault-free run."""
+    from repro.verif import run_system
+
+    cfg = scenario("tiny-ft")
+    assert cfg.fault_tolerance
+    res = run_system(cfg, n_frames=1)
+    assert not res.detected
+    assert res.frames_dropped == 0
+    assert res.recovery_log == []

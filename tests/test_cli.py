@@ -64,6 +64,32 @@ def test_timeline_command(capsys):
     assert "Week" in out and "resim" in out
 
 
+def test_soak_single_transient(capsys):
+    code = main(["soak", "--frames", "2", "--seed", "7",
+                 "--method", "resim", "--transient", "dma_stall",
+                 "--check"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "dma_stall" in out and "outcomes:" in out
+
+
+def test_soak_json_is_canonical(capsys):
+    import json
+
+    args = ["soak", "--frames", "2", "--seed", "7", "--method", "resim",
+            "--transient", "payload_bitflip", "--json"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert first == second  # byte-identical: the replay guarantee
+    assert json.loads(first)["ok"] is True
+
+
+def test_soak_unknown_transient(capsys):
+    assert main(["soak", "--transient", "bogus"]) == 2
+
+
 def test_method_override(capsys):
     code = main(["run", "--scenario", "tiny", "--method", "vmux",
                  "--frames", "1"])
