@@ -8,10 +8,21 @@
   rendering for the benchmark harness,
 * :mod:`~repro.analysis.timeline` — the development-workload model that
   regenerates Figure 5 from this repository's own component inventory
-  and the live bug campaign.
+  and the live bug campaign,
+* :mod:`~repro.analysis.tracing` — the structured trace substrate
+  (spans, instants, counters) every layer emits into, with Chrome
+  ``trace_event`` export (``repro trace``).
 """
 
 from . import benchkit
+from .tracing import (
+    Tracer,
+    TraceEvent,
+    counter_summary,
+    install_bus_tracing,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from .profiling import (
     FastPathReport,
     FrameProfile,
@@ -19,9 +30,10 @@ from .profiling import (
     PhaseStats,
     fastpath_by_owner,
     measure_artifact_overhead,
+    phase_durations_from_trace,
     profile_one_frame,
 )
-from .reporting import format_ps, format_table, Series
+from .reporting import format_ps, format_table, format_trace_timeline, Series
 from .timeline import DevelopmentTimeline, build_timeline
 from .vcdscan import VcdParseError, VcdScan
 
@@ -33,10 +45,18 @@ __all__ = [
     "PhaseStats",
     "fastpath_by_owner",
     "measure_artifact_overhead",
+    "phase_durations_from_trace",
     "profile_one_frame",
     "format_ps",
     "format_table",
+    "format_trace_timeline",
     "Series",
+    "Tracer",
+    "TraceEvent",
+    "counter_summary",
+    "install_bus_tracing",
+    "to_chrome_trace",
+    "write_chrome_trace",
     "DevelopmentTimeline",
     "build_timeline",
     "VcdParseError",

@@ -1,4 +1,11 @@
-"""Plain-text table and series rendering for the benchmark harness."""
+"""Plain-text table, series and trace-timeline rendering.
+
+Dependency-free renderers shared by the benchmark harness and the
+tracing CLI; :func:`format_trace_timeline` draws any object exposing
+the :class:`~repro.analysis.tracing.TraceEvent` protocol (``ph``,
+``cat``, ``name``, ``ts_ps``, ``dur_ps``, ``args``, ``tid``) without
+importing the tracing module.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Union
 
-__all__ = ["format_table", "format_ps", "canonical_json", "Series"]
+__all__ = [
+    "format_table",
+    "format_ps",
+    "canonical_json",
+    "Series",
+    "format_trace_timeline",
+]
 
 Cell = Union[str, int, float]
 
@@ -84,6 +97,53 @@ def format_ps(ps: int) -> str:
     if ps >= 1_000:
         return f"{ps / 1_000:.1f} ns"
     return f"{ps} ps"
+
+
+def format_trace_timeline(
+    events: Iterable,
+    limit: int = 0,
+    show_counters: bool = False,
+) -> str:
+    """Render trace events as an indented plain-text timeline.
+
+    Events must already be sorted (``Tracer.sorted_events()``); span
+    nesting is shown by indentation computed per track from span
+    end-times.  ``limit`` truncates to the first N rows (0 = all);
+    counter samples are noisy and hidden unless ``show_counters``.
+    """
+    rows: List[Sequence[Cell]] = []
+    open_ends: dict = {}  # tid -> stack of span end timestamps
+    truncated = 0
+    for ev in events:
+        if ev.ph == "C" and not show_counters:
+            continue
+        stack = open_ends.setdefault(ev.tid, [])
+        while stack and ev.ts_ps >= stack[-1]:
+            stack.pop()
+        depth = len(stack)
+        if ev.ph == "X":
+            stack.append(ev.ts_ps + ev.dur_ps)
+        if limit and len(rows) >= limit:
+            truncated += 1
+            continue
+        args = ev.args or {}
+        arg_text = " ".join(f"{k}={v}" for k, v in args.items() if k not in (
+            "ts_ps", "dur_ps", "wall_ns"))
+        rows.append(
+            (
+                format_ps(ev.ts_ps),
+                format_ps(ev.dur_ps) if ev.ph == "X" else "-",
+                ev.cat,
+                "  " * depth + ev.name,
+                arg_text,
+            )
+        )
+    if not rows:
+        return "(no trace events)"
+    table = format_table(["Time", "Duration", "Category", "Event", "Args"], rows)
+    if truncated:
+        table += f"\n... {truncated} more events (raise the limit to see them)"
+    return table
 
 
 @dataclass

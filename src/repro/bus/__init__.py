@@ -14,7 +14,14 @@ Table III bugs live precisely at this layer:
   reconfigurable region.
 """
 
-from .dcr import DcrBus, DcrError, DcrNode, DcrRegisterFile, DcrTimeout
+from .dcr import (
+    DcrBus,
+    DcrCommandRecord,
+    DcrError,
+    DcrNode,
+    DcrRegisterFile,
+    DcrTimeout,
+)
 from .interrupts import InterruptController
 from .memory import PlbMemory
 from .plb import (
@@ -27,6 +34,7 @@ from .plb import (
 
 __all__ = [
     "DcrBus",
+    "DcrCommandRecord",
     "DcrError",
     "DcrNode",
     "DcrRegisterFile",

@@ -19,10 +19,19 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Union
 
+from dataclasses import dataclass
+
 from ..kernel import Module, RisingEdge, xbits
 from ..kernel.logic import LogicVector
 
-__all__ = ["DcrBus", "DcrNode", "DcrRegisterFile", "DcrError", "DcrTimeout"]
+__all__ = [
+    "DcrBus",
+    "DcrNode",
+    "DcrRegisterFile",
+    "DcrError",
+    "DcrTimeout",
+    "DcrCommandRecord",
+]
 
 WORD_MASK = 0xFFFF_FFFF
 
@@ -135,6 +144,17 @@ class DcrRegisterFile(DcrNode):
             self._on_write[offset](data & WORD_MASK)
 
 
+@dataclass(frozen=True)
+class DcrCommandRecord:
+    """One completed daisy-chain command, as seen by bus observers."""
+
+    start_ps: int
+    end_ps: int
+    addr: int
+    write: bool
+    ok: bool
+
+
 class DcrBus(Module):
     """The daisy-chain master and ring walker.
 
@@ -153,6 +173,16 @@ class DcrBus(Module):
         self.sig_ack = self.signal("dcr_ack", 1)
         self.total_commands = 0
         self.chain_break_observed = 0
+        self._observers: List = []
+
+    def add_observer(self, callback) -> None:
+        """Register ``callback(DcrCommandRecord)`` for completed commands.
+
+        The list is empty unless something (e.g. the tracing layer)
+        registers; an un-observed bus pays one truthiness check per
+        command.
+        """
+        self._observers.append(callback)
 
     def attach(self, node: DcrNode) -> DcrNode:
         """Append ``node`` at the end of the daisy chain."""
@@ -171,6 +201,7 @@ class DcrBus(Module):
         """Shift a command around the ring; returns (value, ok)."""
         clk = self.clock.out
         self.total_commands += 1
+        start_ps = self.sim.time if self.sim is not None else 0
         poisoned = False
         result: Union[int, LogicVector, None] = None
         hit = False
@@ -196,13 +227,30 @@ class DcrBus(Module):
         # remainder of the ring, so corruption anywhere poisons it
         yield RisingEdge(clk)
         if poisoned or not hit:
+            self._notify_observers(start_ps, addr, write, ok=False)
             return xbits(32), False
         self.sig_ack.next = 1
         yield RisingEdge(clk)
         self.sig_ack.next = 0
+        self._notify_observers(start_ps, addr, write, ok=True)
         if write:
             return 0, True
         return result, True
+
+    def _notify_observers(
+        self, start_ps: int, addr: int, write: bool, ok: bool
+    ) -> None:
+        if not self._observers:
+            return
+        record = DcrCommandRecord(
+            start_ps=start_ps,
+            end_ps=self.sim.time if self.sim is not None else start_ps,
+            addr=addr,
+            write=write,
+            ok=ok,
+        )
+        for cb in self._observers:
+            cb(record)
 
     def read(self, addr: int):
         """``value = yield from dcr.read(addr)``; X-vector if chain broken."""

@@ -14,6 +14,9 @@ Commands:
 ``soak``       seeded transient-fault soak campaign exercising the
                detect/abort/retry recovery stack; ``--check`` fails on
                silent corruption or hangs
+``trace``      run with structured tracing on and export a Chrome
+               ``trace_event`` JSON (Perfetto-loadable) plus a text
+               timeline and counter summary
 """
 
 from __future__ import annotations
@@ -288,6 +291,50 @@ def _cmd_soak(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from .analysis.reporting import format_trace_timeline
+    from .analysis.tracing import counter_summary, write_chrome_trace
+
+    overrides = {"tracing": True}
+    if args.categories:
+        overrides["trace_categories"] = frozenset(
+            c.strip() for cats in args.categories for c in cats.split(",") if c.strip()
+        )
+    cfg = replace(_config(args), **overrides)
+
+    captured = {}
+
+    def grab(system, software, sim):
+        captured["sim"] = sim
+
+    result = run_system(cfg, n_frames=args.frames, prepare=grab)
+    tracer = captured["sim"].tracer
+    tracer.finalize()
+    doc = write_chrome_trace(tracer, args.output, include_wall=args.wall_clock)
+
+    print(result.summary())
+    n_events = len(doc["traceEvents"])
+    print(f"wrote {n_events} trace events to {args.output}")
+    print("load it at https://ui.perfetto.dev or chrome://tracing")
+    if args.timeline:
+        print()
+        print(format_trace_timeline(tracer.sorted_events(), limit=args.timeline))
+    if args.summary:
+        print()
+        rows = [
+            (cat, s["spans"], round(s["span_ps"] / 1e6, 3), s["instants"])
+            for cat, s in sorted(counter_summary(tracer).items())
+        ]
+        print(
+            format_table(
+                ["Category", "Spans", "Span us", "Instants"],
+                rows,
+                title="Trace summary",
+            )
+        )
+    return 1 if result.detected else 0
+
+
 def _cmd_timeline(_args) -> int:
     tl = build_timeline()
     rows = [
@@ -392,6 +439,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail on silent corruption or a hung run",
     )
     p_soak.set_defaults(func=_cmd_soak)
+
+    p_trace = sub.add_parser(
+        "trace", help="run with tracing on; export Chrome trace JSON"
+    )
+    _add_common(p_trace)
+    p_trace.add_argument(
+        "-o", "--output", default="trace.json",
+        help="Chrome trace_event JSON path (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--categories", action="append", default=[],
+        help="record only these categories (repeatable or comma-separated:"
+             " kernel, bus, reconfig, firmware, warning)",
+    )
+    p_trace.add_argument(
+        "--timeline", type=int, nargs="?", const=40, default=0,
+        metavar="N", help="also print the first N timeline rows (default 40)",
+    )
+    p_trace.add_argument(
+        "--summary", action="store_true",
+        help="also print per-category span/instant totals",
+    )
+    p_trace.add_argument(
+        "--wall-clock", action="store_true",
+        help="include wall-clock offsets (makes the file non-deterministic)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -155,6 +155,9 @@ class PpcLiteIss(Module):
         self.msr_ee = False
         self.pc = IRQ_VECTOR
         self.interrupts_taken += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("firmware", "interrupt", track="cpu", pc=self.srr0)
 
     def _run(self):
         clk = self.clock.out
@@ -283,6 +286,9 @@ class PpcLiteIss(Module):
     def _syscall(self) -> None:
         code = self._get(0)
         arg = self._get(3)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("firmware", "service-call", track="cpu", code=code)
         if code == 0:
             self.exit_code = arg
             self.halted = True

@@ -112,6 +112,17 @@ class Module:
         if self.sim is not None:
             self.sim.warn(f"{self.path}: {message}")
 
+    @property
+    def tracer(self):
+        """The simulator's structured tracer, or None when tracing is off.
+
+        Instrumentation sites use ``tr = self.tracer`` followed by an
+        ``if tr is not None`` guard so a tracing-disabled simulation
+        pays one attribute read at lifecycle points only.
+        """
+        sim = self.sim
+        return sim.tracer if sim is not None else None
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

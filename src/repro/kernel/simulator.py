@@ -128,6 +128,11 @@ class Simulator:
         #: (time_ps, message) records from Module.warn() — the trace
         #: channel monitors/artifacts use for non-fatal conditions
         self.warnings: List[Tuple[int, str]] = []
+        #: structured trace recorder (repro.analysis.tracing.Tracer) or
+        #: None — the zero-overhead-when-off default.  Instrumentation
+        #: sites guard with ``if sim.tracer is not None`` and never sit
+        #: on the per-delta hot path.
+        self.tracer = None
         self._vcd = None
         self._finished = False
         self._modules: List[object] = []
@@ -144,8 +149,22 @@ class Simulator:
         signal._bind(self)
 
     def warn(self, message: str) -> None:
-        """Record a timestamped simulation warning (trace channel)."""
-        self.warnings.append((self.time, message))
+        """Record a timestamped simulation warning (trace channel).
+
+        With a tracer attached the warning routes through
+        :meth:`~repro.analysis.tracing.Tracer.warning`, which appends
+        the same backward-compatible ``(time_ps, message)`` tuple to
+        :attr:`warnings` *and* records a trace instant from a single
+        ``sim.time`` read, so the two records cannot disagree.
+        """
+        if self.tracer is not None:
+            self.tracer.warning(message)
+        else:
+            self.warnings.append((self.time, message))
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a structured tracer (see repro.analysis.tracing)."""
+        tracer.attach(self)
 
     def fork(self, gen: Generator, name: str = "proc", owner=None) -> Process:
         """Start a new process; it first runs in the next delta cycle."""
@@ -381,6 +400,17 @@ class Simulator:
                 f"cannot run until t={until}ps: simulation is already at "
                 f"t={self.time}ps"
             )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled_for("kernel"):
+            span = tracer.begin("kernel", "run")
+            try:
+                return self._run_body(until)
+            finally:
+                span.end()
+                tracer.sample_kernel()
+        return self._run_body(until)
+
+    def _run_body(self, until: Optional[int]) -> int:
         if not self.profile:
             return self._run_fast(until)
         self._step_deltas()
@@ -577,6 +607,19 @@ class Simulator:
 
     def run_until_event(self, event: Event, timeout: Optional[int] = None) -> bool:
         """Run until ``event`` fires; returns False on timeout/quiescence."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled_for("kernel"):
+            span = tracer.begin("kernel", "run_until_event", event=event.name)
+            try:
+                return self._run_until_event_body(event, timeout)
+            finally:
+                span.end()
+                tracer.sample_kernel()
+        return self._run_until_event_body(event, timeout)
+
+    def _run_until_event_body(
+        self, event: Event, timeout: Optional[int] = None
+    ) -> bool:
         start_count = event.fired_count
         deadline = None if timeout is None else self.time + timeout
         self._step_deltas()

@@ -43,6 +43,7 @@ class IcapArtifact(Module):
         self.framing_errors: List[str] = []
         self.crc_failures = 0
         self._current_portal: Optional[ExtendedPortal] = None
+        self._pending_crc: Optional[int] = None
         # state-saving extension: payload accumulation (for GRESTORE)
         # and the readback FIFO (for FDRO reads)
         self._payload_words: List[int] = []
@@ -72,6 +73,9 @@ class IcapArtifact(Module):
         self.words_received += 1
         self.sig_data.next = word & 0xFFFF_FFFF
         pre_idle = self.parser.state == SimBParser.IDLE
+        # the parser clears expected_crc before emitting payload_end, so
+        # latch it here: non-None at payload_end means the check passed
+        self._pending_crc = self.parser.expected_crc
         try:
             events = self.parser.push(word)
         except SimBError as exc:
@@ -91,6 +95,9 @@ class IcapArtifact(Module):
             self.crc_failures += 1
         self.sig_errors.next = min(len(self.framing_errors), 0xFFFF)
         self.warn(f"SimB framing error: {message}")
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("reconfig", "framing-error", message=message, crc=crc)
 
     def resync(self, reason: str) -> None:
         """Force the parser back to IDLE (controller abort path).
@@ -122,6 +129,11 @@ class IcapArtifact(Module):
         elif ev.kind == "payload":
             self._payload_words.append(ev.value)
         elif ev.kind == "payload_end":
+            if self._pending_crc is not None:
+                tr = self.tracer
+                if tr is not None:
+                    tr.instant("reconfig", "crc-ok", crc=self._pending_crc)
+                self._pending_crc = None
             if self._current_portal is not None:
                 self._current_portal.on_payload_end()
         elif ev.kind == "gcapture":

@@ -119,6 +119,10 @@ class IcapCtrl(DcrRegisterFile):
         self._rb_start = Event(f"{name}.rb_start")
         self.readbacks_completed = 0
         self.words_read_back = 0
+        #: open "reconfig"/"icap-transfer" trace span while a DMA runs,
+        #: and the drained-word count when it opened
+        self._transfer_span = None
+        self._span_drained0 = 0
         self.process(self._fetch_proc, "fetch")
         self.process(self._drain_proc, "drain")
         self.process(self._readback_proc, "readback")
@@ -183,6 +187,14 @@ class IcapCtrl(DcrRegisterFile):
             baddr = self.peek("BADDR")
             bsize_bytes = self.peek("BSIZE")
             words = bsize_bytes // 4  # hardware contract: size in BYTES
+            tr = self.tracer
+            if tr is not None:
+                if self._transfer_span is not None:  # restarted mid-flight
+                    self._transfer_span.end()
+                self._span_drained0 = self.words_drained
+                self._transfer_span = tr.begin(
+                    "reconfig", "icap-transfer", baddr=baddr, bytes=bsize_bytes
+                )
             self._error_latched = False
             self._abort_requested = False
             self._set_status(done=False, busy=True, error=False)
@@ -251,6 +263,14 @@ class IcapCtrl(DcrRegisterFile):
                     self._set_status(
                         done=True, busy=False, error=self._error_latched
                     )
+                    if self._transfer_span is not None:
+                        self._transfer_span.add_args(
+                            words_drained=self.words_drained
+                            - self._span_drained0,
+                            error=self._error_latched,
+                        )
+                        self._transfer_span.end()
+                        self._transfer_span = None
                     self.done_irq.next = 1
                     yield RisingEdge(cfg)
                     yield RisingEdge(cfg)
@@ -299,6 +319,10 @@ class IcapCtrl(DcrRegisterFile):
     def _abort_transfer(self, reason: str) -> None:
         self.transfers_aborted += 1
         self._abort_requested = True
+        if self._transfer_span is not None:
+            self._transfer_span.add_args(aborted=reason)
+            self._transfer_span.end()
+            self._transfer_span = None
         # clear any stall condition so the fetch process can unwind
         self.stall_fetch = False
         self.stall_drain = False

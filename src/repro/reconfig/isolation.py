@@ -44,6 +44,12 @@ class Isolation(Module):
     def set_enabled(self, enabled: bool) -> None:
         """Arm/disarm isolation (wired to a DCR control register bit)."""
         self.enabled = bool(enabled)
+        tr = self.tracer
+        if tr is not None:
+            tr.instant(
+                "reconfig",
+                "isolation-armed" if self.enabled else "isolation-released",
+            )
         if self.sim is not None:
             self._update.set(self.sim)
 

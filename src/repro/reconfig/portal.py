@@ -64,12 +64,37 @@ class ExtendedPortal(Module):
         self.capture_errors = 0
         self.restores = 0
         self.restore_failures = 0
+        #: open "reconfig"/"during-reconfig" trace span (inject → swap)
+        self._during_span = None
 
     def _now(self) -> int:
         return self.sim.time if self.sim is not None else 0
 
     def _log(self, kind: str, module_id: Optional[int] = None) -> None:
+        """Record a phase transition — timeline entry plus trace event.
+
+        The portal timeline is the substrate's source of truth for the
+        reconfiguration lifecycle: every record becomes a ``reconfig``
+        instant, and the DURING phase (first payload word → swap, the
+        window the paper's Fig. 5 timeline measures) becomes a span.
+        """
         self.timeline.append(PortalRecord(self._now(), kind, module_id))
+        tr = self.tracer
+        if tr is None:
+            return
+        tr.instant(
+            "reconfig", f"portal:{kind}", rr=self.rr_id, module=module_id
+        )
+        if kind == "inject_start":
+            if self._during_span is not None:
+                self._during_span.end()
+            self._during_span = tr.begin(
+                "reconfig", "during-reconfig", rr=self.rr_id, module=module_id
+            )
+        elif kind in ("swap", "error", "desync") and self._during_span is not None:
+            self._during_span.add_args(outcome=kind)
+            self._during_span.end()
+            self._during_span = None
 
     # ------------------------------------------------------------------
     # Callbacks from the ICAP artifact

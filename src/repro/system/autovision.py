@@ -78,6 +78,13 @@ class SystemConfig:
     #: driver retry policy (fault_tolerance only)
     max_reconfig_attempts: int = 3
     retry_backoff_cycles: int = 64
+    #: structured tracing (see :mod:`repro.analysis.tracing`): when on,
+    #: :meth:`build` attaches a Tracer and installs the bus observers.
+    #: Off by default — a tracing-off simulation must pay nothing.
+    tracing: bool = False
+    #: optional category filter, e.g. ``frozenset({"reconfig"})``;
+    #: ``None`` records every category
+    trace_categories: Optional[FrozenSet[str]] = None
 
     def __post_init__(self) -> None:
         if self.method not in ("resim", "vmux", "dcs"):
@@ -346,9 +353,23 @@ class AutoVisionSystem(Module):
         return (header + self.config.simb_payload_words + 2) * 4
 
     def build(self, profile: Optional[bool] = None) -> Simulator:
-        """Create a simulator and elaborate the system into it."""
+        """Create a simulator and elaborate the system into it.
+
+        With ``config.tracing`` a :class:`~repro.analysis.tracing.Tracer`
+        is attached (reachable as ``sim.tracer``) and bus observers are
+        installed before elaboration, so the trace covers the whole run.
+        """
         sim = Simulator(
             profile=self.config.profile if profile is None else profile
         )
+        if self.config.tracing:
+            # deferred import: repro.analysis pulls in profiling, which
+            # imports this module back
+            from ..analysis.tracing import Tracer, install_bus_tracing
+
+            tracer = Tracer(categories=self.config.trace_categories)
+            tracer.attach(sim)
+            tracer.set_fastpath_root(self)
+            install_bus_tracing(tracer, plb=self.bus, dcr=self.dcr)
         sim.add_module(self)
         return sim

@@ -229,6 +229,8 @@ class AutoVisionSoftware(Module):
         #: which phase the engine-manager thread is in right now — the
         #: Table II profiler samples this while stepping the simulation
         self.current_phase = "idle"
+        #: open firmware-phase trace spans, keyed by phase name
+        self._phase_spans = {}
 
     # ------------------------------------------------------------------
     # Driver primitives
@@ -288,6 +290,9 @@ class AutoVisionSoftware(Module):
 
     def _log_recovery(self, message: str) -> None:
         self.recovery_log.append((self.sim.time, message))
+        tr = self.tracer
+        if tr is not None:
+            tr.instant("firmware", "recovery", message=message)
 
     def _clear_reconfig_error(self):
         """Read IcapCtrl STATUS; W1C-clear and report a latched error."""
@@ -312,6 +317,19 @@ class AutoVisionSoftware(Module):
         Without ``fault_tolerance`` this is the original unprotected
         sequence: one attempt, ``"ok"`` or ``"fatal"``.
         """
+        tr = self.tracer
+        rspan = (
+            tr.begin("firmware", "reconfigure", target=target_id, label=label)
+            if tr is not None
+            else None
+        )
+        outcome = yield from self._reconfigure_body(target_id, label, tr)
+        if rspan is not None:
+            rspan.add_args(outcome=outcome)
+            rspan.end()
+        return outcome
+
+    def _reconfigure_body(self, target_id: int, label: str, tr):
         system = self.system
         arm_isolation = "dpr.1" not in self.faults
         if not self.fault_tolerance:
@@ -330,11 +348,24 @@ class AutoVisionSoftware(Module):
                 # recoverable — then back off exponentially
                 system.refresh_bitstream(target_id)
                 backoff = self.retry_backoff_cycles << (attempt - 2)
+                if tr is not None:
+                    tr.instant(
+                        "firmware", "retry-backoff",
+                        attempt=attempt, cycles=backoff,
+                    )
                 yield Timer(backoff * period)
+            aspan = (
+                tr.begin("firmware", "attempt", n=attempt, label=label)
+                if tr is not None
+                else None
+            )
             if arm_isolation:
                 yield from self._set_isolation(True)
             ok = yield from self.strategy.reconfigure(self, target_id)
             error = yield from self._clear_reconfig_error()
+            if aspan is not None:
+                aspan.add_args(ok=bool(ok and not error))
+                aspan.end()
             if ok and not error:
                 yield from self._set_isolation(False)
                 if attempt > 1:
@@ -366,9 +397,19 @@ class AutoVisionSoftware(Module):
 
     def _log_phase(self, name: str, start_ps: int) -> None:
         self.phase_log.append((name, start_ps, self.sim.time))
+        span = self._phase_spans.pop(name, None)
+        if span is not None:
+            span.end()
 
     def _enter_phase(self, name: str) -> int:
         self.current_phase = name
+        tr = self.tracer
+        if tr is not None:
+            # the drawer runs concurrently with the engine-manager
+            # phases, so it gets its own track (Chrome "X" events on one
+            # tid must nest; overlapping siblings would render garbled)
+            track = "drawer" if name == "isr_draw" else ""
+            self._phase_spans[name] = tr.begin("firmware", name, track=track)
         return self.sim.time
 
     # ------------------------------------------------------------------
@@ -401,8 +442,17 @@ class AutoVisionSoftware(Module):
         yield from self.dcr_write(regs.addr_of("RADIUS"), cfg.radius)
 
         ok = True
+        tr = self.tracer
         for f in range(n_frames):
+            fspan = (
+                tr.begin("firmware", "frame", frame=f)
+                if tr is not None
+                else None
+            )
             status = yield from self._process_frame(f)
+            if fspan is not None:
+                fspan.add_args(status=status)
+                fspan.end()
             if status == "ok":
                 self.frames_processed += 1
             elif status == "dropped":

@@ -90,6 +90,34 @@ def test_soak_unknown_transient(capsys):
     assert main(["soak", "--transient", "bogus"]) == 2
 
 
+def test_trace_command_writes_chrome_json(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    code = main(["trace", "--scenario", "tiny", "--method", "resim",
+                 "--frames", "1", "-o", str(out_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert str(out_path) in out
+    doc = json.loads(out_path.read_text())
+    cats = {e.get("cat") for e in doc["traceEvents"]}
+    assert {"kernel", "bus", "reconfig", "firmware"} <= cats
+
+
+def test_trace_category_filter(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    code = main(["trace", "--scenario", "tiny", "--frames", "1",
+                 "--categories", "firmware,reconfig", "-o", str(out_path)])
+    capsys.readouterr()
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    cats = {e["cat"] for e in doc["traceEvents"] if e["ph"] != "M"}
+    assert cats <= {"firmware", "reconfig"}
+    assert "bus" not in cats
+
+
 def test_method_override(capsys):
     code = main(["run", "--scenario", "tiny", "--method", "vmux",
                  "--frames", "1"])

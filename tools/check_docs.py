@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Documentation hygiene checker.
+
+Two checks, both cheap enough for every CI run:
+
+1. **Internal links resolve** — every relative markdown link
+   (``[text](path)`` or ``[text](path#anchor)``) in the repo's
+   top-level ``*.md`` files and everything under ``docs/`` must point
+   at a file that exists.  External links (``http://``, ``https://``,
+   ``mailto:``) are skipped — CI must not depend on the network.
+
+2. **Public modules have docstrings** — every importable module under
+   ``src/repro`` (not starting with ``_``) must open with a module
+   docstring.  The check reads source text, it never imports, so a
+   module with heavy import-time side effects cannot break it.
+
+Exit status 0 when clean; 1 with a per-problem report otherwise.
+Run directly (``python tools/check_docs.py``) or via the pytest
+wrapper in ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — but not images' inner () and not reference-style links
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> List[Path]:
+    """Top-level *.md plus everything under docs/, sorted for stable output."""
+    files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def iter_links(md_file: Path) -> Iterable[Tuple[int, str]]:
+    """Yield (line_number, target) for each markdown link, skipping code fences."""
+    in_fence = False
+    for lineno, line in enumerate(md_file.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_links() -> List[str]:
+    problems = []
+    for md in markdown_files():
+        for lineno, target in iter_links(md):
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(REPO)
+                problems.append(
+                    f"{rel}:{lineno}: broken link -> {target}"
+                )
+    return problems
+
+
+def public_modules() -> List[Path]:
+    pkg = REPO / "src" / "repro"
+    return sorted(
+        p for p in pkg.glob("**/*.py")
+        if not p.name.startswith("_") or p.name == "__init__.py"
+    )
+
+
+def check_docstrings() -> List[str]:
+    problems = []
+    for py in public_modules():
+        try:
+            tree = ast.parse(py.read_text())
+        except SyntaxError as exc:  # pragma: no cover - tier-1 would fail first
+            problems.append(f"{py.relative_to(REPO)}: unparseable ({exc})")
+            continue
+        if ast.get_docstring(tree) is None:
+            problems.append(
+                f"{py.relative_to(REPO)}: missing module docstring"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_docstrings()
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    n_md = len(markdown_files())
+    n_py = len(public_modules())
+    print(f"check_docs: OK ({n_md} markdown files, {n_py} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
