@@ -12,12 +12,17 @@ check:
   run down, so min-of-N is the honest throughput estimate;
 * :func:`write_baseline` / :func:`load_baseline` / :func:`compare`
   implement the ``BENCH_kernel.json`` regression gate used by
-  ``repro bench --check`` (fails on >20% throughput loss by default).
+  ``repro bench --check`` (fails on >20% throughput loss by default);
+* :func:`measure_system` is the end-to-end sweep benchmark behind
+  ``repro bench --system``: frame throughput cold vs artifact-cache
+  warm, and campaign wall clock serial vs fleet-parallel — the numbers
+  recorded in ``BENCH_system.json``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -30,24 +35,33 @@ from ..kernel import Clock, Edge, MHz, Module, RisingEdge, Signal, Simulator, Ti
 __all__ = [
     "KERNELS",
     "DEFAULT_BASELINE",
+    "DEFAULT_SYSTEM_BASELINE",
     "DEFAULT_TOLERANCE",
     "bench_clock_toggle",
     "bench_signal_update",
     "bench_edge_wait",
     "bench_plb_burst",
     "measure",
+    "measure_system",
     "write_baseline",
     "load_baseline",
     "compare",
+    "write_system_baseline",
+    "load_system_baseline",
 ]
 
 #: repo-relative location of the committed baseline
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_kernel.json"
 
+#: repo-relative location of the end-to-end system benchmark record
+DEFAULT_SYSTEM_BASELINE = Path("benchmarks") / "BENCH_system.json"
+
 #: allowed fractional throughput loss before --check fails
 DEFAULT_TOLERANCE = 0.20
 
 _SCHEMA = 1
+
+_SYSTEM_SCHEMA = 1
 
 
 def bench_clock_toggle(cycles: int = 100_000) -> int:
@@ -132,33 +146,54 @@ KERNELS: Dict[str, tuple] = {
 }
 
 
+def _measure_one(name: str, repeats: int) -> dict:
+    """Fleet task: min-of-N measurement of one kernel."""
+    fn, unit = KERNELS[name]
+    best = None
+    work = 0
+    for _ in range(max(1, repeats)):
+        t0 = perf_counter()
+        work = fn()
+        dt = perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+    return {
+        "work": work,
+        "unit": unit,
+        "best_s": best,
+        "per_sec": work / best if best else 0.0,
+    }
+
+
 def measure(
     repeats: int = 3,
     kernels: Optional[Iterable[str]] = None,
+    jobs: int = 1,
 ) -> Dict[str, dict]:
     """Run the named kernels (default: all); return per-kernel results.
 
     Each entry maps name -> ``{"work", "unit", "best_s", "per_sec"}``.
+    ``jobs>1`` measures kernels on fleet workers in parallel — useful
+    for a quick sweep, but note concurrent workers contend for cores,
+    so serial measurement stays the honest default for regression
+    gating.
     """
+    from ..exec.fleet import RunSpec, run_many
+
     names = list(kernels) if kernels is not None else list(KERNELS)
-    results: Dict[str, dict] = {}
     for name in names:
-        fn, unit = KERNELS[name]
-        best = None
-        work = 0
-        for _ in range(max(1, repeats)):
-            t0 = perf_counter()
-            work = fn()
-            dt = perf_counter() - t0
-            if best is None or dt < best:
-                best = dt
-        results[name] = {
-            "work": work,
-            "unit": unit,
-            "best_s": best,
-            "per_sec": work / best if best else 0.0,
-        }
-    return results
+        if name not in KERNELS:
+            raise KeyError(name)
+    specs = [
+        RunSpec(name, _measure_one, {"name": name, "repeats": repeats})
+        for name in names
+    ]
+    fleet = run_many(specs, jobs=jobs)
+    failures = fleet.failures()
+    if failures:
+        detail = "; ".join(f"{o.key}: {o.error}" for o in failures)
+        raise RuntimeError(f"benchmark kernel(s) failed: {detail}")
+    return {o.key: o.value for o in fleet.outcomes}
 
 
 def write_baseline(results: Dict[str, dict], path: Path) -> None:
@@ -186,6 +221,93 @@ def load_baseline(path: Path) -> Dict[str, dict]:
     if doc.get("schema") != _SCHEMA:
         raise ValueError(f"unsupported baseline schema in {path}")
     return doc["kernels"]
+
+
+def measure_system(
+    jobs: int = 4,
+    frames: int = 1,
+    bug_keys: Optional[Iterable[str]] = None,
+) -> dict:
+    """End-to-end sweep benchmark: cache warmth and fleet parallelism.
+
+    Three measurements, all on the ``tiny`` scenario:
+
+    * one system run with the artifact cache *cleared* (cold) and one
+      immediately after (warm) — the warm run reuses frames, firmware,
+      SimBs and the assembled memory image, and the hit counters prove
+      it;
+    * the bug campaign serially (``jobs=1``) and fleet-parallel
+      (``jobs=N``), wall clock and speedup.
+
+    Results are wall-clock numbers — machine-dependent by nature, so
+    they carry ``cpus`` and are recorded (not regression-gated) in
+    ``BENCH_system.json``.
+    """
+    from ..exec.cache import ARTIFACT_CACHE
+    from ..system.scenarios import scenario
+    from ..verif.campaign import run_bug_campaign, run_system
+
+    config = scenario("tiny")
+
+    ARTIFACT_CACHE.clear()
+    t0 = perf_counter()
+    run_system(config, n_frames=frames)
+    cold_s = perf_counter() - t0
+
+    snap = ARTIFACT_CACHE.snapshot()
+    t0 = perf_counter()
+    run_system(config, n_frames=frames)
+    warm_s = perf_counter() - t0
+    warm_delta = ARTIFACT_CACHE.delta_since(snap)
+    warm_hits = sum(c["hits"] for c in warm_delta.values())
+
+    keys = list(bug_keys) if bug_keys is not None else ["dpr.1", "dpr.4"]
+    t0 = perf_counter()
+    run_bug_campaign(keys, base_config=config, n_frames=frames, jobs=1)
+    serial_s = perf_counter() - t0
+    t0 = perf_counter()
+    run_bug_campaign(keys, base_config=config, n_frames=frames, jobs=jobs)
+    parallel_s = perf_counter() - t0
+
+    return {
+        "scenario": "tiny",
+        "frames": frames,
+        "cpus": os.cpu_count() or 1,
+        "single_run": {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_speedup": cold_s / warm_s if warm_s else 0.0,
+            "warm_cache_hits": warm_hits,
+            "warm_cache_stats": warm_delta,
+        },
+        "campaign": {
+            "bugs": keys,
+            "runs": 2 * (len(keys) + 1),
+            "jobs": jobs,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else 0.0,
+        },
+    }
+
+
+def write_system_baseline(result: dict, path: Path) -> None:
+    """Record a system measurement to ``path``."""
+    doc = {
+        "schema": _SYSTEM_SCHEMA,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "system": result,
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def load_system_baseline(path: Path) -> dict:
+    """Load a recorded system measurement; returns its ``system`` dict."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != _SYSTEM_SCHEMA:
+        raise ValueError(f"unsupported system baseline schema in {path}")
+    return doc["system"]
 
 
 def compare(

@@ -10,10 +10,15 @@ Commands:
 ``scenarios``  list the named scenarios
 ``timeline``   the Figure 5 development-timeline model
 ``bench``      kernel throughput micro-benchmarks; ``--check`` gates
-               against the committed BENCH_kernel.json baseline
+               against the committed BENCH_kernel.json baseline;
+               ``--system`` measures the end-to-end sweep instead
+               (cache warmth + fleet parallelism, BENCH_system.json)
+``campaign``   the full Table III bug-detection campaign; ``--jobs N``
+               fans runs out to fleet workers with byte-identical
+               reports
 ``soak``       seeded transient-fault soak campaign exercising the
                detect/abort/retry recovery stack; ``--check`` fails on
-               silent corruption or hangs
+               silent corruption or hangs; supports ``--jobs``
 ``trace``      run with structured tracing on and export a Chrome
                ``trace_event`` JSON (Perfetto-loadable) plus a text
                timeline and counter summary
@@ -167,9 +172,14 @@ def _cmd_bench(args) -> int:
 
     from .analysis import benchkit
 
+    if args.system:
+        return _bench_system(args)
+
     kernels = args.kernel or None
     try:
-        results = benchkit.measure(repeats=args.repeats, kernels=kernels)
+        results = benchkit.measure(
+            repeats=args.repeats, kernels=kernels, jobs=args.jobs
+        )
     except KeyError as exc:
         print(f"unknown kernel {exc.args[0]!r}; "
               f"choose from {', '.join(benchkit.KERNELS)}", file=sys.stderr)
@@ -229,6 +239,127 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _bench_system(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .analysis import benchkit
+
+    result = benchkit.measure_system(jobs=args.jobs, frames=args.frames)
+
+    baseline_path = Path(args.baseline)
+    if str(baseline_path) == str(benchkit.DEFAULT_BASELINE):
+        baseline_path = benchkit.DEFAULT_SYSTEM_BASELINE
+    if args.update:
+        benchkit.write_system_baseline(result, baseline_path)
+
+    single = result["single_run"]
+    campaign = result["campaign"]
+    if args.json:
+        print(_json.dumps(result, indent=2))
+    else:
+        rows = [
+            ("single run (cold cache)", f"{single['cold_s']:.2f} s", "-"),
+            (
+                "single run (warm cache)",
+                f"{single['warm_s']:.2f} s",
+                f"{single['warm_speedup']:.2f}x, "
+                f"{single['warm_cache_hits']} cache hits",
+            ),
+            (
+                f"campaign x{campaign['runs']} (serial)",
+                f"{campaign['serial_s']:.2f} s",
+                "-",
+            ),
+            (
+                f"campaign x{campaign['runs']} (--jobs {campaign['jobs']})",
+                f"{campaign['parallel_s']:.2f} s",
+                f"{campaign['speedup']:.2f}x on {result['cpus']} cpu(s)",
+            ),
+        ]
+        print(
+            format_table(
+                ["Workload", "Wall clock", "Notes"],
+                rows,
+                title=f"End-to-end system benchmark "
+                      f"({result['scenario']}, {result['frames']} frame(s))",
+            )
+        )
+
+    if args.update:
+        print(f"system benchmark recorded to {baseline_path}")
+    if args.check and single["warm_cache_hits"] <= 0:
+        print(
+            "system bench FAILURE - warm run produced zero artifact-cache "
+            "hits (memoization broken)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .analysis.reporting import canonical_json
+    from .verif import BUGS
+    from .verif.campaign import run_bug_campaign
+
+    for key in args.bug:
+        if key not in BUGS:
+            print(f"unknown bug {key!r}; see `repro bugs`", file=sys.stderr)
+            return 2
+    result = run_bug_campaign(
+        bug_keys=args.bug or None,
+        base_config=scenario(args.scenario),
+        n_frames=args.frames,
+        include_baseline=not args.no_baseline,
+        jobs=args.jobs,
+    )
+
+    if args.json:
+        print(canonical_json(result.to_json_dict()), end="")
+    else:
+        rows = [
+            (
+                o.bug.key,
+                "yes" if o.vmux_detected else "no",
+                "yes" if o.resim_detected else "no",
+                o.classification,
+                "yes" if o.matches_paper else "NO",
+            )
+            for o in result.outcomes
+        ]
+        print(
+            format_table(
+                ["Bug", "VMux", "ReSim", "Classification", "Matches paper"],
+                rows,
+                title=f"Bug-detection campaign ({len(result.outcomes)} bugs, "
+                      f"jobs={result.jobs})",
+            )
+        )
+        counts = result.detected_counts()
+        print(
+            f"detected: vmux={counts['vmux']} resim={counts['resim']} "
+            f"resim-only={counts['resim_only']}; "
+            f"all match paper: {'yes' if result.all_match_paper else 'NO'}"
+        )
+        if result.worker_crashes:
+            print(f"fleet: {result.worker_crashes} worker crash(es) recovered")
+
+    if args.check:
+        failures = result.run_failures
+        for f in failures:
+            print(f"campaign FAILURE - {f}", file=sys.stderr)
+        if failures or not result.all_match_paper:
+            if not result.all_match_paper:
+                print(
+                    "campaign FAILURE - detection matrix deviates from the "
+                    "paper's Table III",
+                    file=sys.stderr,
+                )
+            return 1
+    return 0
+
+
 def _cmd_soak(args) -> int:
     from .analysis.reporting import canonical_json, format_ps
     from .verif import TRANSIENTS, run_soak_campaign
@@ -243,6 +374,7 @@ def _cmd_soak(args) -> int:
         frames=args.frames,
         seed=args.seed,
         transients=args.transient or None,
+        jobs=args.jobs,
     )
 
     if args.json:
@@ -411,7 +543,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--kernel", action="append", default=[],
         help="run only this kernel (repeatable)",
     )
+    p_bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="fleet workers for the measurement (default 1: serial)",
+    )
+    p_bench.add_argument(
+        "--system", action="store_true",
+        help="end-to-end sweep benchmark instead of kernel micro-benchmarks "
+             "(cache warmth + campaign parallelism; baseline: "
+             "benchmarks/BENCH_system.json)",
+    )
+    p_bench.add_argument(
+        "--frames", type=int, default=1,
+        help="frames per system run for --system (default 1)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_camp = sub.add_parser(
+        "campaign", help="Table III bug-detection campaign"
+    )
+    p_camp.add_argument(
+        "--scenario", default="tiny", choices=scenario_names(),
+        help="named operating point (default: tiny)",
+    )
+    p_camp.add_argument(
+        "--bug", action="append", default=[],
+        help="campaign only this bug key (repeatable); default: all",
+    )
+    p_camp.add_argument("--frames", type=int, default=2)
+    p_camp.add_argument(
+        "--jobs", type=int, default=1,
+        help="fleet worker processes (default 1: serial; report bytes are "
+             "identical for any value)",
+    )
+    p_camp.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the two fault-free baseline runs",
+    )
+    p_camp.add_argument(
+        "--json", action="store_true",
+        help="canonical machine-readable report",
+    )
+    p_camp.add_argument(
+        "--check", action="store_true",
+        help="fail unless every bug matches the paper and no run failed",
+    )
+    p_camp.set_defaults(func=_cmd_campaign)
 
     p_soak = sub.add_parser(
         "soak", help="seeded transient-fault soak campaign"
@@ -438,6 +615,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--check", action="store_true",
         help="fail on silent corruption or a hung run",
     )
+    p_soak.add_argument(
+        "--jobs", type=int, default=1,
+        help="fleet worker processes (default 1: serial; report bytes are "
+             "identical for any value)",
+    )
     p_soak.set_defaults(func=_cmd_soak)
 
     p_trace = sub.add_parser(
@@ -451,7 +633,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_trace.add_argument(
         "--categories", action="append", default=[],
         help="record only these categories (repeatable or comma-separated:"
-             " kernel, bus, reconfig, firmware, warning)",
+             " kernel, bus, reconfig, firmware, warning; opt-in extras:"
+             " exec = artifact-cache hit/miss counters)",
     )
     p_trace.add_argument(
         "--timeline", type=int, nargs="?", const=40, default=0,

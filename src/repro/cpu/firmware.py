@@ -32,12 +32,13 @@ from ..system.autovision import (
     AutoVisionSystem,
     SystemConfig,
 )
-from .assembler import assemble
+from .assembler import Program, assemble
 from .iss import PpcLiteIss
 
 __all__ = [
     "optical_flow_firmware",
     "multiframe_firmware",
+    "assemble_cached",
     "attach_iss",
     "FIRMWARE_EXIT_OK",
     "SVC_LOAD_FRAME",
@@ -392,6 +393,27 @@ def build_iss_demo(
         raise ValueError("the firmware drives the real IcapCTRL: use resim")
     system = AutoVisionSystem(config)
     iss = attach_iss(system)
-    program = assemble(optical_flow_firmware(system, faults=firmware_faults))
+    program = assemble_cached(optical_flow_firmware(system, faults=firmware_faults))
     iss.load(program)
     return system, iss, program
+
+
+def assemble_cached(source: str, base_addr: int = 0) -> Program:
+    """Assemble via the artifact cache (the source text IS the key).
+
+    Sweeps re-assemble the identical firmware for every run; the word
+    image is pure in the source, so it is memoized process-globally.
+    Returns a fresh :class:`~repro.cpu.assembler.Program` whose lists
+    the caller may mutate.
+    """
+    from ..exec.cache import ARTIFACT_CACHE
+
+    cached = ARTIFACT_CACHE.get(
+        "firmware", (source, base_addr), lambda: assemble(source, base_addr)
+    )
+    return Program(
+        words=list(cached.words),
+        base_addr=cached.base_addr,
+        symbols=dict(cached.symbols),
+        listing=list(cached.listing),
+    )

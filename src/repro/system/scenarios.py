@@ -12,7 +12,7 @@ operating points.
 
 from __future__ import annotations
 
-from dataclasses import replace
+from dataclasses import fields, replace
 from typing import Dict, List
 
 from ..reconfig.simb import DEFAULT_PAYLOAD_WORDS, REAL_BITSTREAM_WORDS
@@ -62,6 +62,11 @@ SCENARIOS: Dict[str, SystemConfig] = {
 def scenario(name: str, **overrides) -> SystemConfig:
     """Fetch a named scenario, optionally overriding fields.
 
+    Override keys are validated against the
+    :class:`~repro.system.autovision.SystemConfig` fields; an unknown
+    key (a typo like ``frame_width``) raises a ``ValueError`` naming
+    the valid fields instead of letting it slip through.
+
     >>> cfg = scenario("tiny", faults=frozenset({"dpr.4"}))
     """
     try:
@@ -70,7 +75,16 @@ def scenario(name: str, **overrides) -> SystemConfig:
         raise KeyError(
             f"unknown scenario {name!r}; available: {', '.join(scenario_names())}"
         ) from None
-    return replace(base, **overrides) if overrides else base
+    if not overrides:
+        return base
+    valid = {f.name for f in fields(SystemConfig)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise ValueError(
+            f"unknown scenario override(s) {', '.join(unknown)} for "
+            f"{name!r}; valid fields: {', '.join(sorted(valid))}"
+        )
+    return replace(base, **overrides)
 
 
 def scenario_names() -> List[str]:

@@ -27,11 +27,12 @@ Virtual Multiplexing and ReSim, and classifies every run:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..exec.fleet import RunSpec, run_many
 from ..kernel import Timer
 from ..reconfig.simb import TYPE2_LEN_TAG, simb_header_words
 from ..system.autovision import SystemConfig
@@ -231,6 +232,11 @@ class SoakReport:
     methods: Tuple[str, ...]
     windows_ps: Dict[str, int]
     runs: List[SoakRun]
+    #: fleet execution metadata — excluded from :meth:`to_json_dict`
+    #: so report bytes are identical for any ``jobs`` value
+    jobs: int = 1
+    worker_crashes: int = 0
+    cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -325,12 +331,80 @@ def _classify(result: RunResult, detected: bool, frames: int) -> str:
     return "recovered"
 
 
+def _soak_calibrate(config: SystemConfig, frames: int) -> int:
+    """Fleet task: one clean run's total simulated time (the window)."""
+    return run_system(config, n_frames=frames).sim_time_ps
+
+
+def _soak_one(
+    config: SystemConfig,
+    frames: int,
+    seed: int,
+    method: str,
+    key: str,
+    window_ps: int,
+) -> SoakRun:
+    """Fleet task: inject one transient and classify the run.
+
+    The classification needs the live system object (monitor
+    first-event timestamps), so it happens here — worker-side — and
+    only the pure-data :class:`SoakRun` crosses the process boundary.
+    """
+    spec = TRANSIENTS[key]
+    rng = random.Random(f"{seed}:{method}:{key}")
+    # inject somewhere inside the active 5%..90% of the window
+    at_ps = int((0.05 + 0.85 * rng.random()) * window_ps)
+    captured: dict = {}
+
+    def prepare(system, software, sim):
+        captured["system"] = system
+        spec.arm(system, software, sim, rng, at_ps)
+
+    result = run_system(config, n_frames=frames, prepare=prepare)
+    system = captured["system"]
+    detected_at = _first_detection_ps(result, system, at_ps)
+    recovered_at = _recovery_ps(result)
+    outcome = _classify(result, detected_at is not None, frames)
+    return SoakRun(
+        method=method,
+        transient=key,
+        injected_at_ps=at_ps,
+        detected_at_ps=detected_at,
+        recovered_at_ps=recovered_at,
+        outcome=outcome,
+        result=result,
+    )
+
+
+def _failed_soak_run(
+    config: SystemConfig, frames: int, method: str, key: str, error: str
+) -> SoakRun:
+    """Placeholder for a soak run whose fleet task failed or crashed."""
+    return SoakRun(
+        method=method,
+        transient=key,
+        injected_at_ps=0,
+        detected_at_ps=None,
+        recovered_at_ps=None,
+        outcome="unrecovered",
+        result=RunResult(
+            method=method,
+            faults=(),
+            frames_requested=frames,
+            hung=True,
+            software_anomalies=[f"fleet: run failed ({error})"],
+        ),
+    )
+
+
 def run_soak_campaign(
     methods: Sequence[str] = ("resim", "vmux"),
     frames: int = 2,
     seed: int = 7,
     transients: Optional[Sequence[str]] = None,
     base_config: Optional[SystemConfig] = None,
+    jobs: int = 1,
+    fault_injection: Optional[Dict[str, str]] = None,
 ) -> SoakReport:
     """Inject every transient at a seeded random instant of a run.
 
@@ -339,6 +413,13 @@ def run_soak_campaign(
     transient then gets its own :class:`random.Random` seeded from
     ``f"{seed}:{method}:{key}"`` — string seeding is hash-stable, so
     reports are byte-identical across processes for the same seed.
+
+    The calibration runs execute as one fleet phase and the transient
+    runs as a second; with ``jobs=1`` both phases run serially
+    in-process, and the report is byte-identical for any ``jobs``.
+    ``fault_injection`` reaches :func:`repro.exec.fleet.run_many`
+    (fleet-crash testing seam; calibration keys are ``calibrate:M``,
+    transient keys ``M:K``).
     """
     if base_config is None:
         base_config = SystemConfig(
@@ -351,38 +432,60 @@ def run_soak_campaign(
                 f"unknown transient {key!r}; available: "
                 f"{', '.join(sorted(TRANSIENTS))}"
             )
+    configs = {m: replace(base_config, method=m) for m in methods}
+    injection = dict(fault_injection or {})
 
+    def injection_for(specs: List[RunSpec]) -> Optional[Dict[str, str]]:
+        keyset = {s.key for s in specs}
+        return {k: v for k, v in injection.items() if k in keyset} or None
+
+    # phase 1: the per-method injection windows (fault-free runs)
+    cal_specs = [
+        RunSpec(
+            f"calibrate:{m}",
+            _soak_calibrate,
+            {"config": configs[m], "frames": frames},
+        )
+        for m in methods
+    ]
+    cal = run_many(cal_specs, jobs=jobs, fault_injection=injection_for(cal_specs))
     windows: Dict[str, int] = {}
-    runs: List[SoakRun] = []
     for method in methods:
-        config = replace(base_config, method=method)
-        clean = run_system(config, n_frames=frames)
-        windows[method] = clean.sim_time_ps
-        for key in keys:
-            spec = TRANSIENTS[key]
-            rng = random.Random(f"{seed}:{method}:{key}")
-            # inject somewhere inside the active 5%..90% of the window
-            at_ps = int((0.05 + 0.85 * rng.random()) * windows[method])
-            captured: dict = {}
+        outcome = cal.value_of(f"calibrate:{method}")
+        if outcome is None:
+            failure = next(o for o in cal.outcomes if o.key == f"calibrate:{method}")
+            raise RuntimeError(
+                f"soak calibration run for {method!r} failed: {failure.error}"
+            )
+        windows[method] = outcome
 
-            def prepare(system, software, sim, _spec=spec, _rng=rng, _at=at_ps):
-                captured["system"] = system
-                _spec.arm(system, software, sim, _rng, _at)
-
-            result = run_system(config, n_frames=frames, prepare=prepare)
-            system = captured["system"]
-            detected_at = _first_detection_ps(result, system, at_ps)
-            recovered_at = _recovery_ps(result)
-            outcome = _classify(result, detected_at is not None, frames)
+    # phase 2: every (method, transient) pair
+    soak_specs = [
+        RunSpec(
+            f"{method}:{key}",
+            _soak_one,
+            {
+                "config": configs[method],
+                "frames": frames,
+                "seed": seed,
+                "method": method,
+                "key": key,
+                "window_ps": windows[method],
+            },
+        )
+        for method in methods
+        for key in keys
+    ]
+    fleet = run_many(soak_specs, jobs=jobs, fault_injection=injection_for(soak_specs))
+    runs: List[SoakRun] = []
+    for outcome in fleet.outcomes:
+        if outcome.ok:
+            runs.append(outcome.value)
+        else:
+            method, key = outcome.key.split(":", 1)
             runs.append(
-                SoakRun(
-                    method=method,
-                    transient=key,
-                    injected_at_ps=at_ps,
-                    detected_at_ps=detected_at,
-                    recovered_at_ps=recovered_at,
-                    outcome=outcome,
-                    result=result,
+                _failed_soak_run(
+                    configs[method], frames, method, key, outcome.error
                 )
             )
     return SoakReport(
@@ -391,4 +494,7 @@ def run_soak_campaign(
         methods=tuple(methods),
         windows_ps=windows,
         runs=runs,
+        jobs=fleet.jobs,
+        worker_crashes=cal.worker_crashes + fleet.worker_crashes,
+        cache_stats=fleet.cache,
     )

@@ -21,6 +21,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..exec.cache import ARTIFACT_CACHE
 from ..kernel import Mailbox, Module
 from .formats import pack_pixels, unpack_pixels, unpack_vectors
 from .frames import FrameSequence
@@ -48,20 +49,27 @@ class VideoInVIP(Module):
         cfg = self.sequence.config
         return cfg.width * cfg.height // 4
 
+    def _packed_frame(self, t: int) -> np.ndarray:
+        """Word-packed frame ``t``, memoized alongside the frame render."""
+        seq = self.sequence
+        return ARTIFACT_CACHE.get(
+            "frame_words",
+            seq._scene_key + (t,),
+            lambda: pack_pixels(seq.frame(t).ravel()),
+        )
+
     def send_frame(self, t: int, base_addr: int):
         """``yield from vip.send_frame(t, base)`` — full-frame DMA."""
-        frame = self.sequence.frame(t)
-        words = pack_pixels(frame.ravel())
+        words = self._packed_frame(t)
         yield from self.port.write_block(base_addr, words.tolist())
         self.frames_sent += 1
-        return frame
+        return self.sequence.frame(t)
 
     def send_frame_backdoor(self, t: int, memory, offset: int) -> np.ndarray:
         """Zero-time load used by fast-functional test modes."""
-        frame = self.sequence.frame(t)
-        memory.load_words(offset, pack_pixels(frame.ravel()))
+        memory.load_words(offset, self._packed_frame(t))
         self.frames_sent += 1
-        return frame
+        return self.sequence.frame(t)
 
 
 class VideoOutVIP(Module):

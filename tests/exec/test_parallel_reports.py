@@ -1,0 +1,93 @@
+"""The determinism contract: report bytes never depend on ``--jobs``.
+
+Campaign and soak reports are serialized with ``canonical_json`` and
+compared byte-for-byte between serial execution, fleet-parallel
+execution, and fleet-parallel execution with an injected worker crash
+(the crashed task is retried on a fresh worker, so even a dying worker
+leaves no trace in the report).
+"""
+
+import pytest
+
+from repro.analysis.reporting import canonical_json
+from repro.system.autovision import SystemConfig
+from repro.verif.campaign import run_bug_campaign
+from repro.verif.transients import run_soak_campaign
+
+_CFG = SystemConfig(width=48, height=32, simb_payload_words=128)
+_BUGS = ["dpr.1", "dpr.4"]
+
+
+@pytest.fixture(scope="module")
+def campaign_serial():
+    return run_bug_campaign(_BUGS, base_config=_CFG, n_frames=1, jobs=1)
+
+
+def test_campaign_bytes_identical_across_jobs(campaign_serial):
+    parallel = run_bug_campaign(_BUGS, base_config=_CFG, n_frames=1, jobs=4)
+    assert canonical_json(campaign_serial.to_json_dict()) == canonical_json(
+        parallel.to_json_dict()
+    )
+    assert parallel.jobs == 4
+    assert parallel.worker_crashes == 0
+
+
+def test_campaign_bytes_survive_a_worker_crash(campaign_serial):
+    crashed = run_bug_campaign(
+        _BUGS,
+        base_config=_CFG,
+        n_frames=1,
+        jobs=4,
+        fault_injection={f"{_BUGS[0]}:vmux": "crash"},
+    )
+    assert crashed.worker_crashes == 1
+    assert canonical_json(campaign_serial.to_json_dict()) == canonical_json(
+        crashed.to_json_dict()
+    )
+
+
+def test_campaign_crash_absorbed_without_baseline():
+    # a single injected crash is transient: the retry absorbs it and
+    # the sweep still completes with a fully healthy report
+    crashed = run_bug_campaign(
+        _BUGS[:1],
+        base_config=_CFG,
+        n_frames=1,
+        include_baseline=False,
+        jobs=2,
+        fault_injection={f"{_BUGS[0]}:vmux": "crash"},
+    )
+    assert crashed.worker_crashes == 1
+    assert crashed.run_failures == []  # one crash is within the retry budget
+    assert crashed.all_match_paper
+
+
+_SOAK_KW = dict(
+    methods=("resim",),
+    frames=1,
+    transients=["payload_bitflip", "dma_stall"],
+)
+
+
+@pytest.fixture(scope="module")
+def soak_serial():
+    return run_soak_campaign(jobs=1, **_SOAK_KW)
+
+
+def test_soak_bytes_identical_across_jobs(soak_serial):
+    parallel = run_soak_campaign(jobs=2, **_SOAK_KW)
+    assert canonical_json(soak_serial.to_json_dict()) == canonical_json(
+        parallel.to_json_dict()
+    )
+
+
+def test_soak_bytes_survive_a_worker_crash(soak_serial):
+    crashed = run_soak_campaign(
+        jobs=2,
+        fault_injection={"resim:payload_bitflip": "crash"},
+        **_SOAK_KW,
+    )
+    assert crashed.worker_crashes == 1
+    assert canonical_json(soak_serial.to_json_dict()) == canonical_json(
+        crashed.to_json_dict()
+    )

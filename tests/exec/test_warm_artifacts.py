@@ -1,0 +1,54 @@
+"""The build paths really consult the artifact cache — and stay safe.
+
+A second identical run must hit the cache for frames, SimB streams and
+the pristine memory image, and cached artifacts must be isolated from
+per-run mutation (runs corrupt bitstreams in main memory; the next run
+must still see a pristine image).
+"""
+
+from repro.exec.cache import ARTIFACT_CACHE
+from repro.system.autovision import AutoVisionSystem, SystemConfig
+from repro.verif.campaign import run_system
+
+_CFG = SystemConfig(width=48, height=32, simb_payload_words=128)
+
+
+def test_second_run_hits_the_artifact_cache():
+    ARTIFACT_CACHE.clear()
+    run_system(_CFG, n_frames=1)
+    snap = ARTIFACT_CACHE.snapshot()
+    run_system(_CFG, n_frames=1)
+    delta = ARTIFACT_CACHE.delta_since(snap)
+    for kind in ("frame", "memimg"):
+        assert kind in delta, f"no {kind} cache activity on the warm run"
+        assert delta[kind]["hits"] > 0, f"warm run missed the {kind} cache"
+        assert delta[kind]["misses"] == 0, f"warm run rebuilt {kind}"
+
+
+def test_cached_memory_image_survives_in_run_corruption():
+    ARTIFACT_CACHE.clear()
+    first = AutoVisionSystem(_CFG)
+    first.build()
+    me_base = first.bitstream_base(first.me.ENGINE_ID)
+    pristine = int(first.memory.dump_words(me_base, 1)[0])
+    # simulate what a bug run does: trash the bitstream in main memory
+    import numpy as np
+
+    first.memory.load_words(
+        me_base, np.array([pristine ^ 0xFFFFFFFF], dtype=np.uint32)
+    )
+    # a fresh system from the (hit) cached image must see pristine data
+    second = AutoVisionSystem(_CFG)
+    second.build()
+    assert int(second.memory.dump_words(me_base, 1)[0]) == pristine
+
+
+def test_simb_lists_are_independent_copies():
+    system = AutoVisionSystem(_CFG)
+    system.build()
+    a = system.artifacts.simb_for("video_rr", system.me.ENGINE_ID, 64)
+    b = system.artifacts.simb_for("video_rr", system.me.ENGINE_ID, 64)
+    assert a == b and a is not b
+    a[0] ^= 0xFF  # mutating one caller's copy ...
+    c = system.artifacts.simb_for("video_rr", system.me.ENGINE_ID, 64)
+    assert c == b  # ... never leaks into the cache

@@ -25,6 +25,19 @@ def test_unknown_scenario():
         scenario("nope")
 
 
+def test_unknown_override_key_rejected():
+    with pytest.raises(ValueError, match="unknown scenario override"):
+        scenario("tiny", frame_width=640)  # typo for `width`
+
+
+def test_unknown_override_error_names_the_culprits():
+    with pytest.raises(ValueError) as exc:
+        scenario("tiny", frame_width=640, metod="vmux")
+    msg = str(exc.value)
+    assert "frame_width" in msg and "metod" in msg
+    assert "width" in msg  # the valid fields are listed
+
+
 def test_paper_scenarios_match_the_paper():
     paper = scenario("paper")
     assert (paper.width, paper.height) == (320, 240)

@@ -90,6 +90,35 @@ def test_soak_unknown_transient(capsys):
     assert main(["soak", "--transient", "bogus"]) == 2
 
 
+def test_campaign_command(capsys):
+    code = main(["campaign", "--bug", "dpr.1", "--frames", "1",
+                 "--no-baseline", "--check"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "dpr.1" in out and "ONLY ReSim" in out
+
+
+def test_campaign_json_identical_across_jobs(capsys):
+    args = ["campaign", "--bug", "dpr.1", "--frames", "1",
+            "--no-baseline", "--json"]
+    assert main(args + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel  # the --jobs determinism guarantee
+
+
+def test_campaign_unknown_bug(capsys):
+    assert main(["campaign", "--bug", "bogus"]) == 2
+
+
+def test_bench_system_check(capsys):
+    code = main(["bench", "--system", "--frames", "1", "--check"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "warm cache" in out and "cache hits" in out
+
+
 def test_trace_command_writes_chrome_json(tmp_path, capsys):
     import json
 
