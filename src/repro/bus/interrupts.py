@@ -39,9 +39,13 @@ class InterruptController(DcrRegisterFile):
         self.irq = self.signal("irq", 1, init=0)
         self._sources: List[Signal] = []
         self._source_names: Dict[str, int] = {}
+        self._index_names: List[str] = []
         self._pending = 0
         self._enabled = 0
         self.interrupts_raised = 0
+        #: per-source raise counts, ``source name -> count`` — lets a
+        #: checker compare interrupt *composition*, not just the total
+        self.raised_by_source: Dict[str, int] = {}
         #: X values observed on request inputs — evidence that garbage
         #: from a reconfiguring region escaped into the static logic
         self.x_violations = 0
@@ -65,6 +69,8 @@ class InterruptController(DcrRegisterFile):
         index = len(self._sources)
         self._sources.append(sig)
         self._source_names[name] = index
+        self._index_names.append(name)
+        self.raised_by_source[name] = 0
         return index
 
     def index_of(self, name: str) -> int:
@@ -103,6 +109,7 @@ class InterruptController(DcrRegisterFile):
                 elif v.value & 1:
                     if not self._pending & (1 << i):
                         self.interrupts_raised += 1
+                        self.raised_by_source[self._index_names[i]] += 1
                     self._pending |= 1 << i
             self.poke("ISR", self._pending)
             want = 1 if (self._pending & self._enabled) else 0

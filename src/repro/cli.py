@@ -22,6 +22,10 @@ Commands:
 ``trace``      run with structured tracing on and export a Chrome
                ``trace_event`` JSON (Perfetto-loadable) plus a text
                timeline and counter summary
+``fuzz``       coverage-closure fuzzing: constrained-random scenarios
+               run under both ReSim and VMux with differential
+               checking; real divergences are auto-shrunk to a replay
+               file, ``--replay`` re-runs one; supports ``--jobs``
 """
 
 from __future__ import annotations
@@ -423,6 +427,96 @@ def _cmd_soak(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .analysis.reporting import canonical_json
+    from .verif import BUGS
+    from .verif.fuzz import run_fuzz_campaign
+    from .verif.shrink import replay, shrink_first_failure, write_replay_file
+
+    if args.replay:
+        ok, record, expected = replay(args.replay)
+        scenario = record.scenario
+        print(
+            f"replaying {args.replay}: scenario #{scenario.index} "
+            f"({scenario.n_frames} frame(s), {scenario.width}x{scenario.height}"
+            f", divergence_fault={scenario.divergence_fault})"
+        )
+        print(f"expected signature: {', '.join(expected) or '(none)'}")
+        print(f"observed signature: {', '.join(record.signature) or '(none)'}")
+        for d in record.real_diffs:
+            print(f"  real  {d.field}: resim={d.resim} vmux={d.vmux}")
+        print("REPRODUCED" if ok else "did NOT reproduce", end="\n")
+        return 0 if ok else 1
+
+    if args.inject_divergence and args.inject_divergence not in BUGS:
+        print(f"unknown bug {args.inject_divergence!r}; see `repro bugs`",
+              file=sys.stderr)
+        return 2
+    report = run_fuzz_campaign(
+        budget=args.budget,
+        seed=args.seed,
+        jobs=args.jobs,
+        wave_size=args.wave,
+        inject_divergence=args.inject_divergence or None,
+    )
+    shrink_result = None
+    if report.real_failures and not args.no_shrink:
+        shrink_result = shrink_first_failure(report, max_evals=args.shrink_evals)
+        if shrink_result is not None and args.repro:
+            write_replay_file(args.repro, shrink_result, args.seed)
+
+    if args.json:
+        print(canonical_json(report.to_json_dict()), end="")
+    else:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(report.counts().items()))
+        print(
+            f"fuzz campaign: seed={report.seed} budget={report.budget} "
+            f"ran {len(report.records)} scenario(s) ({counts})"
+        )
+        closure = "CLOSED" if report.closed else "OPEN"
+        print(
+            f"coverage {closure}: "
+            f"{len(report.target_points) - len(report.never_hit)}"
+            f"/{len(report.target_points)} points hit under ReSim"
+        )
+        for name in report.never_hit:
+            print(f"  never hit: {name}")
+        for i in report.real_failures:
+            record = report.records[i]
+            what = record.error or ", ".join(record.signature)
+            print(f"  REAL divergence in scenario #{record.scenario.index}: {what}")
+        if shrink_result is not None:
+            s = shrink_result.scenario
+            print(
+                f"shrunk to {s.n_frames} frame(s) {s.width}x{s.height} in "
+                f"{shrink_result.evals} eval(s) "
+                f"({len(shrink_result.steps)} reduction(s))"
+            )
+            if args.repro:
+                print(f"replay file written to {args.repro} "
+                      f"(re-run: repro fuzz --replay {args.repro})")
+        if report.worker_crashes:
+            print(f"fleet: {report.worker_crashes} worker crash(es) recovered")
+
+    if args.check and not report.ok:
+        if not report.closed:
+            print(
+                f"fuzz FAILURE - {len(report.never_hit)} cover point(s) "
+                f"never hit within budget {report.budget}",
+                file=sys.stderr,
+            )
+        for i in report.real_failures:
+            record = report.records[i]
+            print(
+                f"fuzz FAILURE - real divergence in scenario "
+                f"#{record.scenario.index}: "
+                f"{record.error or ', '.join(record.signature)}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .analysis.reporting import format_trace_timeline
     from .analysis.tracing import counter_summary, write_chrome_trace
@@ -621,6 +715,60 @@ def main(argv: Optional[List[str]] = None) -> int:
              "identical for any value)",
     )
     p_soak.set_defaults(func=_cmd_soak)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="coverage-closure differential fuzzing"
+    )
+    p_fuzz.add_argument(
+        "--budget", type=int, default=25,
+        help="maximum scenarios to generate (default 25)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=2013,
+        help="campaign seed; same seed -> byte-identical JSON report",
+    )
+    p_fuzz.add_argument(
+        "--jobs", type=int, default=1,
+        help="fleet worker processes (default 1: serial; report bytes are "
+             "identical for any value)",
+    )
+    p_fuzz.add_argument(
+        "--wave", type=int, default=8,
+        help="scenarios generated per closure-check wave (default 8; part "
+             "of the determinism contract, NOT tied to --jobs)",
+    )
+    p_fuzz.add_argument(
+        "--inject-divergence", metavar="BUG",
+        help="apply this bug key to the ReSim side only — a deliberate "
+             "real divergence exercising the checker and shrinker",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report real divergences without minimizing them",
+    )
+    p_fuzz.add_argument(
+        "--shrink-evals", type=int, default=48,
+        help="differential evaluation budget for the shrinker (default 48)",
+    )
+    p_fuzz.add_argument(
+        "--repro", default="fuzz-repro.json",
+        help="replay file path for a shrunk failure "
+             "(default: fuzz-repro.json)",
+    )
+    p_fuzz.add_argument(
+        "--replay", metavar="FILE",
+        help="re-run a recorded replay file; exit 0 iff the failure "
+             "signature reproduces",
+    )
+    p_fuzz.add_argument(
+        "--json", action="store_true",
+        help="canonical machine-readable report",
+    )
+    p_fuzz.add_argument(
+        "--check", action="store_true",
+        help="fail unless coverage closed and no real divergence surfaced",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_trace = sub.add_parser(
         "trace", help="run with tracing on; export Chrome trace JSON"

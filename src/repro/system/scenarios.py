@@ -12,13 +12,20 @@ operating points.
 
 from __future__ import annotations
 
-from dataclasses import fields, replace
-from typing import Dict, List
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple
 
 from ..reconfig.simb import DEFAULT_PAYLOAD_WORDS, REAL_BITSTREAM_WORDS
 from .autovision import SystemConfig
 
-__all__ = ["SCENARIOS", "scenario", "scenario_names"]
+__all__ = [
+    "SCENARIOS",
+    "scenario",
+    "scenario_names",
+    "FieldConstraint",
+    "FUZZ_CONSTRAINTS",
+]
 
 SCENARIOS: Dict[str, SystemConfig] = {
     # fast CI-scale runs (the campaign default)
@@ -89,3 +96,103 @@ def scenario(name: str, **overrides) -> SystemConfig:
 
 def scenario_names() -> List[str]:
     return sorted(SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# Constrained-random scenario space (the fuzzer's legal ranges)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FieldConstraint:
+    """The legal randomization range of one scenario field.
+
+    A field is either discrete (``choices``, declared smallest-first so
+    the shrinker can walk left) or an inclusive integer range
+    (``lo``..``hi``).  :meth:`sample` draws a legal value from an
+    explicit :class:`random.Random` (never global state — the fuzzer's
+    byte-determinism contract), :meth:`legal` validates replayed values,
+    and :meth:`shrink_candidates` enumerates strictly-smaller legal
+    values, most aggressive first, for the failing-case shrinker.
+    """
+
+    name: str
+    description: str
+    choices: Optional[Tuple] = None
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.choices is None) == (self.lo is None or self.hi is None):
+            raise ValueError(
+                f"constraint {self.name!r} needs either choices or lo+hi"
+            )
+
+    def sample(self, rng: random.Random):
+        if self.choices is not None:
+            return rng.choice(self.choices)
+        return rng.randint(self.lo, self.hi)
+
+    def legal(self, value) -> bool:
+        if self.choices is not None:
+            return value in self.choices
+        return isinstance(value, int) and self.lo <= value <= self.hi
+
+    def shrink_candidates(self, value) -> List:
+        """Strictly-smaller legal values, most aggressive reduction first."""
+        if self.choices is not None:
+            try:
+                index = self.choices.index(value)
+            except ValueError:
+                return []
+            return list(self.choices[:index])
+        if not self.legal(value) or value <= self.lo:
+            return []
+        out = [self.lo]
+        mid = (self.lo + value) // 2
+        if mid not in (self.lo, value):
+            out.append(mid)
+        if value - 1 not in out:
+            out.append(value - 1)
+        return out
+
+
+#: the fuzzer's scenario space: every randomized field with its legal
+#: range.  Keys match :class:`~repro.verif.fuzz.FuzzScenario` field
+#: names (``n_transients`` bounds the *length* of its transient mix).
+#: Geometries are kept CI-small: one fuzz case simulates the full SoC
+#: twice (once per method).
+FUZZ_CONSTRAINTS: Dict[str, FieldConstraint] = {
+    c.name: c
+    for c in (
+        FieldConstraint(
+            "n_frames", "frames processed per run (2 swaps each)", lo=1, hi=4
+        ),
+        FieldConstraint("width", "frame width in pixels", choices=(24, 32, 48)),
+        FieldConstraint("height", "frame height in pixels", choices=(16, 24, 32)),
+        FieldConstraint("n_objects", "moving objects in the scene", lo=1, hi=4),
+        FieldConstraint("scene_seed", "synthetic-scene RNG seed", lo=0, hi=9999),
+        FieldConstraint("radius", "matching search radius", lo=1, hi=3),
+        FieldConstraint(
+            "simb_payload_words", "SimB payload length", choices=(64, 128, 256)
+        ),
+        FieldConstraint(
+            "cfg_mhz", "configuration clock", choices=(25.0, 50.0, 100.0)
+        ),
+        FieldConstraint(
+            "fault_tolerance", "CRC/watchdog/retry stack armed",
+            choices=(False, True),
+        ),
+        FieldConstraint(
+            "watchdog_cycles", "transfer watchdog window",
+            choices=(512, 1024, 2048),
+        ),
+        FieldConstraint(
+            "max_reconfig_attempts", "driver retry budget", lo=1, hi=4
+        ),
+        FieldConstraint(
+            "retry_backoff_cycles", "first retry backoff", choices=(32, 64, 128)
+        ),
+        FieldConstraint(
+            "n_transients", "transient faults injected per run", lo=0, hi=2
+        ),
+    )
+}

@@ -11,7 +11,11 @@ This package is the experimental engine behind the paper's evaluation:
   under Virtual Multiplexing and under ReSim and classifies the outcome
   (detected / missed / false alarm / not applicable),
 * :mod:`~repro.verif.transients` — seeded transient-fault injection and
-  the soak campaign exercising the detect/abort/retry recovery stack.
+  the soak campaign exercising the detect/abort/retry recovery stack,
+* :mod:`~repro.verif.fuzz` — coverage-closure fuzzing: constrained-
+  random scenarios differentially checked under ReSim vs VMux,
+* :mod:`~repro.verif.shrink` — greedy minimization of failing fuzz
+  scenarios, plus the replay-file round trip.
 """
 
 from .coverage import DprCoverage
@@ -31,6 +35,15 @@ from .monitor import (
 )
 from .scoreboard import FrameCheck, RunResult, SystemScoreboard
 from .campaign import CampaignResult, run_bug_campaign, run_system
+from .fuzz import (
+    FuzzRecord,
+    FuzzReport,
+    FuzzScenario,
+    ScenarioGenerator,
+    run_differential,
+    run_fuzz_campaign,
+)
+from .shrink import ShrinkResult, shrink_scenario
 
 __all__ = [
     "DprCoverage",
@@ -52,4 +65,12 @@ __all__ = [
     "SoakRun",
     "SoakReport",
     "run_soak_campaign",
+    "FuzzScenario",
+    "ScenarioGenerator",
+    "FuzzRecord",
+    "FuzzReport",
+    "run_differential",
+    "run_fuzz_campaign",
+    "ShrinkResult",
+    "shrink_scenario",
 ]

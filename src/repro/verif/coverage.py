@@ -26,10 +26,37 @@ asserted by the coverage tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["DprCoverage"]
+__all__ = ["DprCoverage", "GENERIC_POINTS", "point_names"]
+
+#: the method-independent cover points; ``swap_to_<module>`` points are
+#: added per configured engine on top of these
+GENERIC_POINTS: Tuple[Tuple[str, str], ...] = (
+    ("bitstream_transfer", "IcapCTRL completed a bitstream DMA"),
+    ("injection_window", "error injection active during a transfer"),
+    ("isolation_armed", "isolation enabled while injecting"),
+    ("isolation_transparent", "isolation passed data when idle"),
+    ("phase_before", "engine activity before a reconfiguration"),
+    ("phase_during", "region observed mid-reconfiguration"),
+    ("phase_after", "engine activity after a reconfiguration"),
+    ("intra_frame_swap", ">= 2 reconfigurations in one frame"),
+    ("fifo_backpressure", "IcapCTRL FIFO reached its depth"),
+    ("reset_after_swap", "freshly configured module was reset"),
+    ("start_after_reconfig", "freshly configured module ran a frame"),
+)
+
+
+def point_names(engines: Sequence[str] = ("cie", "me")) -> List[str]:
+    """Every cover-point name a system with ``engines`` declares.
+
+    Lets coverage consumers (the fuzzer's closure loop, CI gates) know
+    the full point set without building a system first.
+    """
+    return [f"swap_to_{name}" for name in engines] + [
+        name for name, _ in GENERIC_POINTS
+    ]
 
 
 @dataclass
@@ -54,19 +81,7 @@ class DprCoverage:
                 f"swap_to_{engine.name}",
                 f"module {engine.name} configured into the region",
             )
-        for name, desc in (
-            ("bitstream_transfer", "IcapCTRL completed a bitstream DMA"),
-            ("injection_window", "error injection active during a transfer"),
-            ("isolation_armed", "isolation enabled while injecting"),
-            ("isolation_transparent", "isolation passed data when idle"),
-            ("phase_before", "engine activity before a reconfiguration"),
-            ("phase_during", "region observed mid-reconfiguration"),
-            ("phase_after", "engine activity after a reconfiguration"),
-            ("intra_frame_swap", ">= 2 reconfigurations in one frame"),
-            ("fifo_backpressure", "IcapCTRL FIFO reached its depth"),
-            ("reset_after_swap", "freshly configured module was reset"),
-            ("start_after_reconfig", "freshly configured module ran a frame"),
-        ):
+        for name, desc in GENERIC_POINTS:
             self._declare(name, desc)
         self._armed_during_injection = False
         self._baseline_swaps = 0
@@ -169,9 +184,27 @@ class DprCoverage:
     def missing(self) -> List[str]:
         return [name for name, p in self.points.items() if not p.covered]
 
+    def missing_points(self) -> List[CoverPoint]:
+        """The never-hit points themselves (name + description)."""
+        return [p for _, p in sorted(self.points.items()) if not p.covered]
+
+    def to_json_dict(self) -> dict:
+        """Canonical representation for machine-readable reports."""
+        return {
+            "covered": self.covered,
+            "total": self.total,
+            "hits": {name: p.hits for name, p in sorted(self.points.items())},
+            "never_hit": [p.name for p in self.missing_points()],
+        }
+
     def report(self) -> str:
         lines = [f"DPR coverage: {self.covered}/{self.total} ({self.score:.0%})"]
         for name, p in sorted(self.points.items()):
             mark = "x" if p.covered else " "
             lines.append(f"  [{mark}] {name:22s} {p.description} ({p.hits})")
+        never = self.missing_points()
+        if never:
+            lines.append(f"never hit ({len(never)}):")
+            for p in never:
+                lines.append(f"  - {p.name}: {p.description}")
         return "\n".join(lines)

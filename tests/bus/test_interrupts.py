@@ -159,3 +159,32 @@ def test_interrupt_counter():
     sim.fork(device())
     sim.run(until=5_000_000)
     assert intc.interrupts_raised == 3
+
+
+def test_raised_by_source_partitions_the_total():
+    """Per-source raise counts must sum to interrupts_raised and be
+    keyed by the connected source names."""
+    sim, top, clk, dcr, intc, sources = make_intc()
+    period = clk.period
+
+    def pulse(sig, times):
+        for _ in range(times):
+            sig.next = 1
+            yield Timer(2 * period)
+            sig.next = 0
+            yield Timer(2 * period)
+
+    def cpu():
+        yield from dcr.write(intc.addr_of("IER"), 0b111)
+        yield from pulse(sources[0], 2)
+        # acknowledge so re-raises of the same source count again
+        yield from dcr.write(intc.addr_of("ISR"), 0b111)
+        yield from pulse(sources[0], 1)
+        yield from pulse(sources[1], 1)
+
+    sim.fork(cpu())
+    sim.run(until=period * 200)
+    assert intc.raised_by_source["src0"] == 2
+    assert intc.raised_by_source["src1"] == 1
+    assert intc.raised_by_source["src2"] == 0
+    assert sum(intc.raised_by_source.values()) == intc.interrupts_raised

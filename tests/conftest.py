@@ -1,0 +1,24 @@
+"""Suite-wide pytest configuration: the marker tiering scheme.
+
+Every test carries exactly one tier marker:
+
+* ``tier1`` — the default, auto-applied here to anything not explicitly
+  marked otherwise.  The ROADMAP verify command
+  (``PYTHONPATH=src python -m pytest -x -q``) runs the whole suite;
+  ``-m tier1`` selects just this fast core.
+* ``slow`` — long-running end-to-end suites (full example scripts,
+  multi-process fleet sweeps); ``-m "not slow"`` skips them.
+* ``fuzz`` — the coverage-closure fuzzing, differential-checking and
+  checker-mutation suites; CI runs them in a dedicated job on top of
+  ``repro fuzz --check``.
+
+See the "Test tiers" section of the README.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "slow" not in item.keywords and "fuzz" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)

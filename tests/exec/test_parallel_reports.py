@@ -14,6 +14,8 @@ from repro.system.autovision import SystemConfig
 from repro.verif.campaign import run_bug_campaign
 from repro.verif.transients import run_soak_campaign
 
+pytestmark = pytest.mark.slow
+
 _CFG = SystemConfig(width=48, height=32, simb_payload_words=128)
 _BUGS = ["dpr.1", "dpr.4"]
 

@@ -109,3 +109,53 @@ def test_multiple_consumers_each_get_distinct_items():
     sim.fork(producer())
     sim.run()
     assert sorted(item for _, item in got) == [1, 2]
+
+
+def test_peek_empty_raises():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m")
+    with pytest.raises(MailboxEmpty):
+        mbox.peek()
+
+
+def test_zero_capacity_rejects_everything():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m", capacity=0)
+    assert mbox.is_full
+    assert not mbox.try_put("x")
+    assert mbox.is_empty
+    assert mbox.total_put == 0
+
+
+def test_contending_producers_lose_no_items():
+    sim = Simulator()
+    mbox = Mailbox(sim, "m", capacity=1)
+    got = []
+
+    def producer(base):
+        for i in range(3):
+            yield from mbox.put(base + i)
+
+    def consumer():
+        for _ in range(6):
+            item = yield from mbox.get()
+            got.append(item)
+            yield Timer(10)
+
+    sim.fork(producer(0))
+    sim.fork(producer(100))
+    sim.fork(consumer())
+    sim.run()
+    assert sorted(got) == [0, 1, 2, 100, 101, 102]
+    # each producer's items arrive in its own FIFO order
+    assert [x for x in got if x < 100] == [0, 1, 2]
+    assert [x for x in got if x >= 100] == [100, 101, 102]
+    assert mbox.total_put == mbox.total_got == 6
+
+
+def test_repr_shows_occupancy_and_capacity():
+    sim = Simulator()
+    bounded = Mailbox(sim, "b", capacity=4)
+    bounded.try_put(1)
+    assert repr(bounded) == "Mailbox('b', 1/4)"
+    assert "inf" in repr(Mailbox(sim, "u"))

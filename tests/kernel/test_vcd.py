@@ -68,3 +68,81 @@ def test_vcd_binary_format_of_vector():
     text, _ = _run_with_vcd()
     assert "b00010010 " in text  # 0x12
     assert "b01010110 " in text  # 0x56
+
+
+def test_vcd_empty_dump_is_valid():
+    """A writer with no traced signals still emits a parseable file."""
+    sim = Simulator()
+    top = Module("top")
+    top.signal("unused", 4, init=0)
+    stream = io.StringIO()
+    writer = VcdWriter(stream, timescale="1ps")
+    sim.add_module(top)
+    sim.attach_vcd(writer)
+    sim.run(until=1_000)
+    sim.close()
+    text = stream.getvalue()
+    assert "$enddefinitions $end" in text
+    assert "$dumpvars" in text
+    assert "$var" not in text
+    assert writer.changes_recorded == 0
+    # close() stamps the final simulation time even with nothing traced
+    assert text.rstrip().endswith("#1000")
+
+
+def test_vcd_force_then_release():
+    """A forced value is recorded but fires no triggers; a subsequent
+    scheduled drive (the release back to design control) does both."""
+    sim = Simulator()
+    top = Module("top")
+    sig = top.signal("data", 8, init=0)
+    changes = []
+    sig.add_monitor(lambda s, old, new: changes.append(new.to_int()))
+
+    def proc():
+        yield Timer(100)
+        sig.force(0xEE)  # out-of-band injection: VCD yes, monitors no
+        yield Timer(100)
+        sig.next = 0x2A  # released: normal scheduled drive
+        yield Timer(1)
+
+    top.process(proc, "proc")
+    stream = io.StringIO()
+    writer = VcdWriter(stream, timescale="1ps")
+    writer.trace(sig, scope="top")
+    sim.add_module(top)
+    sim.attach_vcd(writer)
+    sim.run()
+    text = stream.getvalue()
+    assert "b11101110 " in text  # forced 0xEE is visible in the waveform
+    assert "b00101010 " in text  # released drive of 0x2A
+    assert changes == [0x2A]  # ...but only the drive fired monitors
+
+
+def test_vcd_rollover_timestamps():
+    """Timestamps past 2**32 ps (the uint32 rollover trap) are written
+    verbatim and stay monotonic."""
+    sim = Simulator()
+    top = Module("top")
+    sig = top.signal("tick", 1, init=0)
+
+    def proc():
+        yield Timer(2**32 - 1)
+        sig.next = 1
+        yield Timer(2)
+        sig.next = 0
+        yield Timer(1)
+
+    top.process(proc, "proc")
+    stream = io.StringIO()
+    writer = VcdWriter(stream, timescale="1ps")
+    writer.trace(sig, scope="top")
+    sim.add_module(top)
+    sim.attach_vcd(writer)
+    sim.run()
+    text = stream.getvalue()
+    assert f"#{2**32 - 1}\n" in text
+    assert f"#{2**32 + 1}\n" in text
+    stamps = [int(line[1:]) for line in text.splitlines()
+              if line.startswith("#")]
+    assert stamps == sorted(stamps)

@@ -153,3 +153,51 @@ def test_method_override(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "[vmux]" in out
+
+
+@pytest.mark.fuzz
+def test_fuzz_clean_campaign_closes(capsys):
+    code = main(["fuzz", "--budget", "8", "--wave", "4", "--check"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "coverage CLOSED" in out
+    assert "13/13" in out
+
+
+@pytest.mark.fuzz
+def test_fuzz_json_identical_across_jobs(capsys):
+    args = ["fuzz", "--budget", "4", "--wave", "4", "--json"]
+    assert main(args + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--jobs", "4"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel  # the --jobs determinism guarantee
+
+
+@pytest.mark.fuzz
+def test_fuzz_injected_divergence_shrinks_and_replays(tmp_path, capsys):
+    repro_path = tmp_path / "repro.json"
+    code = main(["fuzz", "--budget", "1", "--wave", "1",
+                 "--inject-divergence", "sw.1",
+                 "--repro", str(repro_path), "--check"])
+    out = capsys.readouterr().out
+    assert code == 1  # a real divergence fails --check
+    assert "REAL divergence" in out
+    assert "shrunk to 2 frame(s)" in out
+    assert repro_path.exists()
+
+    code = main(["fuzz", "--replay", str(repro_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "REPRODUCED" in out
+
+
+@pytest.mark.fuzz
+def test_fuzz_unknown_divergence_key(capsys):
+    assert main(["fuzz", "--inject-divergence", "bogus"]) == 2
+
+
+@pytest.mark.fuzz
+def test_fuzz_replay_missing_file():
+    with pytest.raises(FileNotFoundError):
+        main(["fuzz", "--replay", "/nonexistent/repro.json"])

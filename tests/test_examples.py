@@ -8,6 +8,8 @@ from pathlib import Path
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES = Path(__file__).parent.parent / "examples"
 SRC = Path(__file__).parent.parent / "src"
 

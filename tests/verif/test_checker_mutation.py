@@ -1,0 +1,167 @@
+"""Mutation smoke tests: deliberately corrupt the system and assert the
+checkers FAIL.
+
+A verification stack is only as good as its ability to go red: a
+scoreboard or differential harness that silently passes corrupted runs
+is worse than none.  Each test here injects one deliberate corruption —
+a flipped frame word, a dropped interrupt, a stale DCR value — and
+asserts the corresponding checker reports the failure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernel import Timer
+from repro.system.scenarios import scenario
+from repro.verif import run_system
+from repro.verif.fuzz import FuzzScenario, diff_sides, run_differential
+
+pytestmark = pytest.mark.fuzz
+
+
+def _tiny_scenario(**overrides) -> FuzzScenario:
+    values = dict(
+        index=0,
+        seed=1,
+        n_frames=1,
+        width=24,
+        height=16,
+        n_objects=1,
+        scene_seed=0,
+        radius=1,
+        simb_payload_words=64,
+        cfg_mhz=100.0,
+        fault_tolerance=False,
+        watchdog_cycles=512,
+        max_reconfig_attempts=1,
+        retry_backoff_cycles=32,
+    )
+    values.update(overrides)
+    return FuzzScenario(**values)
+
+
+# ----------------------------------------------------------------------
+# Scoreboard mutations (full-simulation corruption)
+# ----------------------------------------------------------------------
+def test_flipped_frame_word_fails_scoreboard():
+    """One flipped bit in a produced feature word must go red."""
+
+    def prepare(system, software, sim):
+        mm = system.memory_map
+
+        def corrupter():
+            # poll until the CIE has produced frame 0's features (most
+            # census words are zero background — scan for any nonzero
+            # one), then flip one bit of it, before the frame's
+            # scoreboard check at frame_drawn
+            n_words = mm.frame_bytes // 4
+            while True:
+                yield Timer(1_000_000)
+                words = system.memory.dump_words(mm.feat[0], n_words)
+                nonzero = np.flatnonzero(words)
+                if len(nonzero):
+                    index = int(nonzero[0])
+                    system.memory.load_words(
+                        mm.feat[0] + index * 4,
+                        np.array([int(words[index]) ^ 0x1], dtype=np.uint32),
+                    )
+                    return
+
+        sim.fork(corrupter(), "mutation.flip_frame_word")
+
+    result = run_system(scenario("tiny"), n_frames=1, prepare=prepare)
+    assert not result.hung
+    assert result.checks, "scoreboard never checked a frame"
+    assert not all(c.ok for c in result.checks), (
+        "scoreboard stayed green through a corrupted feature buffer"
+    )
+    assert result.detected
+
+
+def test_clean_run_scoreboard_is_green():
+    """Control for the mutation: the same run uncorrupted passes."""
+    result = run_system(scenario("tiny"), n_frames=1)
+    assert not result.detected
+    assert all(c.ok for c in result.checks)
+
+
+def test_dropped_interrupt_is_detected():
+    """Severing interrupt delivery must surface as an anomaly, not a
+    pass (the driver's ISR timeout records it and aborts the run)."""
+
+    def prepare(system, software, sim):
+        def dropper():
+            # after frame 0 completes (boot's IER write is long done),
+            # break the enable path — every later interrupt is lost
+            yield software.frame_drawn.wait()
+            system.intc._enabled = 0
+
+        sim.fork(dropper(), "mutation.drop_interrupt")
+
+    result = run_system(scenario("tiny"), n_frames=2)
+    clean_frames = result.frames_processed
+
+    mutated = run_system(scenario("tiny"), n_frames=2, prepare=prepare)
+    assert mutated.detected
+    assert mutated.frames_processed < clean_frames
+    assert any(
+        "interrupt never arrived" in a for a in mutated.anomalies
+    ), mutated.anomalies
+
+
+# ----------------------------------------------------------------------
+# Differential-harness mutations (doctored side results)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def clean_record():
+    record = run_differential(_tiny_scenario())
+    assert not record.failed, "baseline differential must be clean"
+    return record
+
+
+def test_stale_dcr_value_fails_differential(clean_record):
+    """A stale engine register read-back must classify as real."""
+    record = clean_record
+    stale = dict(record.vmux.dcr)
+    stale["engine_regs.WIDTH"] = 0xDEAD  # never programmed this run
+    doctored = type(record.vmux)(**{**vars(record.vmux), "dcr": stale})
+    diffs = diff_sides(record.scenario, record.resim, doctored)
+    real = [d for d in diffs if d.classification == "real"]
+    assert any(d.field == "dcr:engine_regs.WIDTH" for d in real)
+
+
+def test_dropped_interrupt_count_fails_differential(clean_record):
+    """One missing engine-done raise must classify as real."""
+    record = clean_record
+    interrupts = dict(record.vmux.interrupts)
+    assert interrupts.get("engine_done", 0) > 0
+    interrupts["engine_done"] -= 1
+    doctored = type(record.vmux)(
+        **{**vars(record.vmux), "interrupts": interrupts}
+    )
+    diffs = diff_sides(record.scenario, record.resim, doctored)
+    real = [d for d in diffs if d.classification == "real"]
+    assert any(d.field == "irq:engine_done" for d in real)
+
+
+def test_flipped_scoreboard_verdict_fails_differential(clean_record):
+    """A flipped per-frame check tuple must classify as real."""
+    record = clean_record
+    checks = tuple(
+        (not f, v, o) if i == 0 else (f, v, o)
+        for i, (f, v, o) in enumerate(record.vmux.checks)
+    )
+    doctored = type(record.vmux)(**{**vars(record.vmux), "checks": checks})
+    diffs = diff_sides(record.scenario, record.resim, doctored)
+    real = [d for d in diffs if d.classification == "real"]
+    assert any(d.field == "checks" for d in real)
+
+
+def test_expected_divergence_not_misreported_as_real(clean_record):
+    """Control: the structural ReSim-only fields stay classified
+    expected — the mutation tests above must not pass because *every*
+    divergence is called real."""
+    assert clean_record.diffs, "structural divergences should exist"
+    assert all(
+        d.classification == "expected" for d in clean_record.diffs
+    )

@@ -71,3 +71,41 @@ def test_unknown_point_rejected(resim_cov):
     cov, *_ = resim_cov
     with pytest.raises(KeyError):
         cov.hit("nonexistent")
+
+
+def test_report_lists_never_hit_points_with_descriptions(vmux_cov):
+    """The report must name every hole, not just tally hits."""
+    cov, *_ = vmux_cov
+    text = cov.report()
+    assert "never hit (" in text
+    assert "- bitstream_transfer: IcapCTRL completed a bitstream DMA" in text
+    assert "- injection_window: error injection active during a transfer" in text
+    # the section lists exactly the uncovered points
+    listed = {
+        line.strip()[2:].split(":")[0]
+        for line in text.splitlines()
+        if line.strip().startswith("- ")
+    }
+    assert listed == set(cov.missing())
+
+
+def test_fully_covered_report_has_no_never_hit_section(resim_cov):
+    cov, *_ = resim_cov
+    assert "never hit" not in cov.report()
+
+
+def test_coverage_json_dict(vmux_cov):
+    cov, *_ = vmux_cov
+    data = cov.to_json_dict()
+    assert data["total"] == cov.total
+    assert data["covered"] == cov.covered
+    assert set(data["never_hit"]) == set(cov.missing())
+    assert data["hits"]["swap_to_cie"] >= 1
+    assert data["hits"]["bitstream_transfer"] == 0
+
+
+def test_point_names_matches_declared_points(resim_cov):
+    from repro.verif.coverage import point_names
+
+    cov, *_ = resim_cov
+    assert sorted(point_names()) == sorted(cov.points)
