@@ -35,8 +35,10 @@ from ..kernel import Clock, Edge, MHz, Module, RisingEdge, Signal, Simulator, Ti
 __all__ = [
     "KERNELS",
     "DEFAULT_BASELINE",
+    "DEFAULT_CODEGEN_BASELINE",
     "DEFAULT_SYSTEM_BASELINE",
     "DEFAULT_TOLERANCE",
+    "default_baseline_path",
     "bench_clock_toggle",
     "bench_signal_update",
     "bench_edge_wait",
@@ -45,13 +47,22 @@ __all__ = [
     "measure_system",
     "write_baseline",
     "load_baseline",
+    "baseline_backend",
     "compare",
     "write_system_baseline",
     "load_system_baseline",
 ]
 
-#: repo-relative location of the committed baseline
+#: repo-relative location of the committed baseline (interp backend)
 DEFAULT_BASELINE = Path("benchmarks") / "BENCH_kernel.json"
+
+#: committed baseline for the codegen execution backend
+DEFAULT_CODEGEN_BASELINE = Path("benchmarks") / "BENCH_kernel_codegen.json"
+
+
+def default_baseline_path(backend: str = "interp") -> Path:
+    """The committed baseline file for an execution backend."""
+    return DEFAULT_CODEGEN_BASELINE if backend == "codegen" else DEFAULT_BASELINE
 
 #: repo-relative location of the end-to-end system benchmark record
 DEFAULT_SYSTEM_BASELINE = Path("benchmarks") / "BENCH_system.json"
@@ -64,9 +75,9 @@ _SCHEMA = 1
 _SYSTEM_SCHEMA = 1
 
 
-def bench_clock_toggle(cycles: int = 100_000) -> int:
+def bench_clock_toggle(cycles: int = 100_000, backend: str = "interp") -> int:
     """Pure clock generation: the floor cost of a simulated cycle."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     clk = Clock("clk", MHz(100))
     sim.add_module(clk)
     sim.run(until=cycles * MHz(100))
@@ -74,9 +85,9 @@ def bench_clock_toggle(cycles: int = 100_000) -> int:
     return cycles
 
 
-def bench_signal_update(updates: int = 10_000) -> int:
+def bench_signal_update(updates: int = 10_000, backend: str = "interp") -> int:
     """Back-to-back non-blocking updates with a sensitive watcher."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     sig = Signal("s", 32, init=0)
     sim.register_signal(sig)
     seen = [0]
@@ -98,9 +109,9 @@ def bench_signal_update(updates: int = 10_000) -> int:
     return updates
 
 
-def bench_edge_wait(cycles: int = 20_000) -> int:
+def bench_edge_wait(cycles: int = 20_000, backend: str = "interp") -> int:
     """One process waking on every clock edge (the engine pattern)."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     clk = Clock("clk", MHz(100))
     sim.add_module(clk)
     count = [0]
@@ -116,9 +127,9 @@ def bench_edge_wait(cycles: int = 20_000) -> int:
     return cycles
 
 
-def bench_plb_burst(bursts: int = 200) -> int:
+def bench_plb_burst(bursts: int = 200, backend: str = "interp") -> int:
     """Bus-limited DMA: the IcapCTRL/engine traffic pattern."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     top = Module("top")
     clk = Clock("clk", MHz(100), parent=top)
     bus = PlbBus("plb", clk, parent=top)
@@ -146,14 +157,14 @@ KERNELS: Dict[str, tuple] = {
 }
 
 
-def _measure_one(name: str, repeats: int) -> dict:
+def _measure_one(name: str, repeats: int, backend: str = "interp") -> dict:
     """Fleet task: min-of-N measurement of one kernel."""
     fn, unit = KERNELS[name]
     best = None
     work = 0
     for _ in range(max(1, repeats)):
         t0 = perf_counter()
-        work = fn()
+        work = fn(backend=backend)
         dt = perf_counter() - t0
         if best is None or dt < best:
             best = dt
@@ -169,6 +180,7 @@ def measure(
     repeats: int = 3,
     kernels: Optional[Iterable[str]] = None,
     jobs: int = 1,
+    backend: str = "interp",
 ) -> Dict[str, dict]:
     """Run the named kernels (default: all); return per-kernel results.
 
@@ -185,7 +197,11 @@ def measure(
         if name not in KERNELS:
             raise KeyError(name)
     specs = [
-        RunSpec(name, _measure_one, {"name": name, "repeats": repeats})
+        RunSpec(
+            name,
+            _measure_one,
+            {"name": name, "repeats": repeats, "backend": backend},
+        )
         for name in names
     ]
     fleet = run_many(specs, jobs=jobs)
@@ -196,12 +212,21 @@ def measure(
     return {o.key: o.value for o in fleet.outcomes}
 
 
-def write_baseline(results: Dict[str, dict], path: Path) -> None:
-    """Write a measurement to ``path`` in the baseline schema."""
+def write_baseline(
+    results: Dict[str, dict], path: Path, backend: str = "interp"
+) -> None:
+    """Write a measurement to ``path`` in the baseline schema.
+
+    ``backend`` is recorded alongside the numbers so a baseline file
+    states which execution backend produced it; :func:`load_baseline`
+    tolerates files written before the field existed (they are interp
+    measurements by construction).
+    """
     doc = {
         "schema": _SCHEMA,
         "python": platform.python_version(),
         "platform": sys.platform,
+        "backend": backend,
         "kernels": {
             name: {
                 "work": r["work"],
@@ -216,11 +241,21 @@ def write_baseline(results: Dict[str, dict], path: Path) -> None:
 
 
 def load_baseline(path: Path) -> Dict[str, dict]:
-    """Load a baseline file; returns its ``kernels`` mapping."""
+    """Load a baseline file; returns its ``kernels`` mapping.
+
+    Files written before the ``backend`` field existed load fine — the
+    field is informational (see :func:`baseline_backend`).
+    """
     doc = json.loads(Path(path).read_text())
     if doc.get("schema") != _SCHEMA:
         raise ValueError(f"unsupported baseline schema in {path}")
     return doc["kernels"]
+
+
+def baseline_backend(path: Path) -> str:
+    """Which backend a baseline file records (``interp`` if unstated)."""
+    doc = json.loads(Path(path).read_text())
+    return doc.get("backend", "interp")
 
 
 def measure_system(

@@ -259,12 +259,13 @@ class PlbBus(Module):
 
     def _arbiter(self):
         clk = self.clock.out
+        edge = RisingEdge(clk)  # reused: single-shot triggers re-prime cleanly
         while True:
             if not self._pending:
                 yield self._request.wait()
                 continue
             # arbitration cycle
-            yield RisingEdge(clk)
+            yield edge
             txn = self._select()
             yield from self._transfer(txn, collision=False)
             txn.done.set(self.sim)
@@ -299,35 +300,46 @@ class PlbBus(Module):
             self.protocol_errors += 1
             txn.rdata = [xbits(32)] * txn.burst if txn.is_read else []
             return
+        # one trigger for the whole transfer: single-shot Edge triggers
+        # re-prime cleanly, and re-yielding the same object is the cheap
+        # path under both execution backends
+        edge = RisingEdge(clk)
         # address phase
         self.sig_addr.next = txn.addr & WORD_MASK
         self.sig_rnw.next = 1 if txn.is_read else 0
         self.sig_master.next = self.masters.index(txn.master) & 0xF
         self.sig_valid.next = 1
-        yield RisingEdge(clk)
+        yield edge
         # slave wait states
         waits = slave.read_wait_states if txn.is_read else slave.write_wait_states
         for _ in range(waits):
-            yield RisingEdge(clk)
-        # data phase, one word per cycle
+            yield edge
+        # data phase, one word per cycle (attribute lookups hoisted:
+        # this loop is the bandwidth-limiting path of every DMA model)
         if collision:
             self.protocol_errors += 1
             txn.error = "collision"
-        for beat in range(txn.burst):
-            word_addr = offset + beat * WORD_BYTES
-            if txn.is_read:
+        sig_data = self.sig_data
+        if txn.is_read:
+            rdata = txn.rdata
+            read = slave.plb_read
+            for beat in range(txn.burst):
                 if collision:
                     value: object = xbits(32)
                 else:
-                    value = slave.plb_read(word_addr) & WORD_MASK
-                txn.rdata.append(value)
-                self.sig_data.next = value
-            else:
-                data = txn.wdata[beat] & WORD_MASK
+                    value = read(offset + beat * WORD_BYTES) & WORD_MASK
+                rdata.append(value)
+                sig_data.next = value
+                yield edge
+        else:
+            wdata = txn.wdata
+            write = slave.plb_write
+            for beat in range(txn.burst):
+                data = wdata[beat] & WORD_MASK
                 if not collision:
-                    slave.plb_write(word_addr, data)
-                self.sig_data.next = data
-            yield RisingEdge(clk)
+                    write(offset + beat * WORD_BYTES, data)
+                sig_data.next = data
+                yield edge
         self.sig_valid.next = 0
         self._busy = False
         txn.master.transactions += 1

@@ -56,6 +56,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--fault", action="append", default=[],
         help="inject a bug by key (repeatable); see `bugs`",
     )
+    _add_backend(parser)
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("interp", "codegen"), default="interp",
+        help="kernel execution backend (default: interp)",
+    )
 
 
 def _config(args):
@@ -64,6 +72,8 @@ def _config(args):
         overrides["method"] = args.method
     if args.fault:
         overrides["faults"] = frozenset(args.fault)
+    if getattr(args, "backend", "interp") != "interp":
+        overrides["backend"] = args.backend
     return scenario(args.scenario, **overrides)
 
 
@@ -182,16 +192,20 @@ def _cmd_bench(args) -> int:
     kernels = args.kernel or None
     try:
         results = benchkit.measure(
-            repeats=args.repeats, kernels=kernels, jobs=args.jobs
+            repeats=args.repeats, kernels=kernels, jobs=args.jobs,
+            backend=args.backend,
         )
     except KeyError as exc:
         print(f"unknown kernel {exc.args[0]!r}; "
               f"choose from {', '.join(benchkit.KERNELS)}", file=sys.stderr)
         return 2
 
-    baseline_path = Path(args.baseline)
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else benchkit.default_baseline_path(args.backend)
+    )
     if args.update:
-        benchkit.write_baseline(results, baseline_path)
+        benchkit.write_baseline(results, baseline_path, backend=args.backend)
 
     if args.json:
         print(_json.dumps({n: r for n, r in sorted(results.items())}, indent=2))
@@ -209,7 +223,8 @@ def _cmd_bench(args) -> int:
             format_table(
                 ["Kernel", "Work", "Best", "Throughput"],
                 rows,
-                title=f"Kernel throughput (min of {args.repeats})",
+                title=f"Kernel throughput "
+                      f"({args.backend} backend, min of {args.repeats})",
             )
         )
 
@@ -251,9 +266,10 @@ def _bench_system(args) -> int:
 
     result = benchkit.measure_system(jobs=args.jobs, frames=args.frames)
 
-    baseline_path = Path(args.baseline)
-    if str(baseline_path) == str(benchkit.DEFAULT_BASELINE):
-        baseline_path = benchkit.DEFAULT_SYSTEM_BASELINE
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else benchkit.DEFAULT_SYSTEM_BASELINE
+    )
     if args.update:
         benchkit.write_system_baseline(result, baseline_path)
 
@@ -313,7 +329,7 @@ def _cmd_campaign(args) -> int:
             return 2
     result = run_bug_campaign(
         bug_keys=args.bug or None,
-        base_config=scenario(args.scenario),
+        base_config=scenario(args.scenario, backend=args.backend),
         n_frames=args.frames,
         include_baseline=not args.no_baseline,
         jobs=args.jobs,
@@ -458,6 +474,7 @@ def _cmd_fuzz(args) -> int:
         jobs=args.jobs,
         wave_size=args.wave,
         inject_divergence=args.inject_divergence or None,
+        backend=args.backend,
     )
     shrink_result = None
     if report.real_failures and not args.no_shrink:
@@ -630,9 +647,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed fractional throughput loss for --check (default 0.20)",
     )
     p_bench.add_argument(
-        "--baseline", default="benchmarks/BENCH_kernel.json",
-        help="baseline file path (default: benchmarks/BENCH_kernel.json)",
+        "--baseline", default=None,
+        help="baseline file path (default: benchmarks/BENCH_kernel.json, "
+             "or benchmarks/BENCH_kernel_codegen.json with "
+             "--backend codegen)",
     )
+    _add_backend(p_bench)
     p_bench.add_argument(
         "--kernel", action="append", default=[],
         help="run only this kernel (repeatable)",
@@ -682,6 +702,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--check", action="store_true",
         help="fail unless every bug matches the paper and no run failed",
     )
+    _add_backend(p_camp)
     p_camp.set_defaults(func=_cmd_campaign)
 
     p_soak = sub.add_parser(
@@ -719,6 +740,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fuzz = sub.add_parser(
         "fuzz", help="coverage-closure differential fuzzing"
     )
+    _add_backend(p_fuzz)
     p_fuzz.add_argument(
         "--budget", type=int, default=25,
         help="maximum scenarios to generate (default 25)",

@@ -1,0 +1,188 @@
+"""Execution backends — the kernel's describe/execute seam.
+
+Elaboration produces a module hierarchy, signals, processes and clocks
+(the *description*).  An :class:`ExecutionBackend` decides how that
+description is *executed*:
+
+* :class:`InterpBackend` — the event-driven interpreter
+  (:meth:`Simulator._run_fast` / :meth:`Simulator._step_deltas`), the
+  canonical semantics;
+* :class:`CodegenBackend` — a per-design scheduler driver generated and
+  compiled once at first run (see :mod:`repro.kernel.codegen.emitter`),
+  with clock edges, timers and 2-state signal commits executed as
+  straight-line Python.
+
+The codegen driver *bails out* to the interpreter for anything it
+cannot prove cheap and exact: X/Z values on a committing signal,
+monitors, ``First``/multi-waiter wakeups, simultaneous timed events,
+unknown trigger types — and falls back entirely when a VCD writer or
+tracer is attached (those need the interpreter's per-commit hooks).
+Stats contract: ``resumes``, ``value_changes``, per-owner maps and
+per-signal counters are bit-exact against the interpreter (they feed
+byte-compared reports); ``deltas``/``timesteps`` may differ slightly at
+bail-out boundaries (they feed no report).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+from ..events import FallingEdge, RisingEdge
+
+__all__ = ["ExecutionBackend", "InterpBackend", "CodegenBackend"]
+
+#: driver return codes
+_BAIL = 0  # let the interpreter settle pending work / take one timestep
+_DONE = 1  # reached until/deadline, quiescence, finish() or the event
+_FALLBACK = 2  # VCD/tracer attached: whole run goes to the interpreter
+
+
+def _unprime_edge(et) -> None:
+    """Undo an Edge trigger's priming (waiter list + signal slot list)."""
+    et._waiters.clear()
+    cls = et.__class__
+    sig = et.signal
+    if cls is RisingEdge:
+        lst = sig._w_rise
+    elif cls is FallingEdge:
+        lst = sig._w_fall
+    else:
+        lst = sig._w_any
+    try:
+        lst.remove(et)
+    except ValueError:
+        pass
+
+
+def _interp_step(sim, until: Optional[int]) -> bool:
+    """Run exactly one timed step through the interpreter.
+
+    The generic escape hatch for events the compiled driver does not
+    specialize.  Mirrors one iteration of the interpreter's outer loop;
+    returns False when there is nothing left to run before ``until``.
+    """
+    timed = sim._timed
+    if sim._finished or not timed:
+        return False
+    when = timed[0][0]
+    if until is not None and when > until:
+        sim.time = until
+        return False
+    sim.time = when
+    sim.stats.timesteps += 1
+    heappop = heapq.heappop
+    while timed and timed[0][0] == when:
+        heappop(timed)[2]._fire(sim)
+    sim._step_deltas()
+    return True
+
+
+class ExecutionBackend:
+    """How an elaborated design is executed.
+
+    The seam between *describe* (elaboration: modules, signals,
+    processes, clocks) and *execute* (advancing simulated time).  The
+    simulator delegates :meth:`run` / :meth:`run_until_event` here;
+    :meth:`invalidate` is called whenever the description changes
+    (e.g. ``add_module`` after a run) so compiled artifacts can be
+    rebuilt.
+    """
+
+    def __init__(self, sim):
+        self._sim = sim
+
+    def run(self, until: Optional[int]) -> int:
+        raise NotImplementedError
+
+    def run_until_event(self, event, timeout: Optional[int]) -> bool:
+        raise NotImplementedError
+
+    def invalidate(self) -> None:
+        """The design changed; drop any compiled execution artifacts."""
+
+
+class InterpBackend(ExecutionBackend):
+    """The event-driven interpreter behind the backend interface.
+
+    The simulator's default path does not go through this object (it
+    calls its own loops directly to avoid a dispatch layer on the hot
+    path); this class exists so code can treat both backends uniformly.
+    """
+
+    def run(self, until: Optional[int]) -> int:
+        return self._sim._run_body(until)
+
+    def run_until_event(self, event, timeout: Optional[int]) -> bool:
+        return self._sim._run_until_event_body(event, timeout)
+
+
+class CodegenBackend(ExecutionBackend):
+    """Compiled-driver execution with automatic interpreter bail-out."""
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self._driver = None
+        #: generated driver source, kept for introspection and tests
+        self.driver_source: Optional[str] = None
+
+    def invalidate(self) -> None:
+        self._driver = None
+        self.driver_source = None
+
+    def _compiled(self):
+        drv = self._driver
+        if drv is None:
+            from .emitter import compile_driver
+
+            drv, src = compile_driver(self._sim)
+            self._driver = drv
+            self.driver_source = src
+        return drv
+
+    def run(self, until: Optional[int]) -> int:
+        sim = self._sim
+        drv = self._compiled()
+        sim._step_deltas()
+        sim.stats.timesteps += 1
+        while True:
+            status = drv(sim, until, None, 0)
+            if status == _DONE:
+                break
+            if status == _FALLBACK:
+                return sim._run_fast(until)
+            if sim._errors:
+                raise sim._errors.pop(0)
+            if sim._ready or sim._updates or sim._delta_triggers:
+                sim._step_deltas()
+                continue
+            if not _interp_step(sim, until):
+                break
+        if until is not None and sim.time < until and not sim._finished:
+            sim.time = until
+        return sim.time
+
+    def run_until_event(self, event, timeout: Optional[int]) -> bool:
+        sim = self._sim
+        drv = self._compiled()
+        start = event.fired_count
+        deadline = None if timeout is None else sim.time + timeout
+        sim._step_deltas()
+        sim.stats.timesteps += 1
+        while True:
+            if event.fired_count > start:
+                return True
+            status = drv(sim, deadline, event, start)
+            if status == _DONE:
+                return event.fired_count > start
+            if status == _FALLBACK:
+                remaining = None if deadline is None else max(0, deadline - sim.time)
+                fired = sim._run_until_event_body(event, remaining)
+                return fired or event.fired_count > start
+            if sim._errors:
+                raise sim._errors.pop(0)
+            if sim._ready or sim._updates or sim._delta_triggers:
+                sim._step_deltas()
+                continue
+            if not _interp_step(sim, deadline):
+                return event.fired_count > start

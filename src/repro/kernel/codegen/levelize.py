@@ -1,0 +1,158 @@
+"""Levelization of combinational rule sets.
+
+A module's :meth:`~repro.kernel.module.Module.comb` rules form a
+dataflow graph: rule *B* depends on rule *A* when *B* reads the signal
+*A* drives.  Levelization is the classic compiled-simulator step —
+topologically order the rules so one straight-line pass computes the
+whole region, with no delta iteration.  A cycle in the graph is a
+combinational loop and is rejected at elaboration time (the interpreter
+would only discover it at runtime, as a
+:class:`~repro.kernel.simulator.DeltaOverflowError`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..logic import LogicVector
+from ..signal import Signal
+from .expr import CombExpr
+
+__all__ = ["CombRule", "CombRegion", "levelize"]
+
+
+class CombRule:
+    """One combinational assignment: ``target <= expr`` every delta."""
+
+    __slots__ = ("target", "expr")
+
+    def __init__(self, target: Signal, expr: CombExpr):
+        self.target = target
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"CombRule({self.target.name} <= {self.expr!r})"
+
+
+def levelize(rules: Sequence[CombRule]) -> Tuple[List[CombRule], List[Signal]]:
+    """Order ``rules`` so every rule runs after the rules it reads.
+
+    Returns ``(ordered_rules, external_inputs)`` where the inputs are
+    the signals read by the region but not driven inside it — the
+    region's sensitivity list.  Raises :class:`ElaborationError` on a
+    combinational loop or on multiple drivers of one signal.
+    """
+    from ..module import ElaborationError
+
+    driver: Dict[Signal, CombRule] = {}
+    for rule in rules:
+        if rule.target in driver:
+            raise ElaborationError(
+                f"signal {rule.target.name!r} has multiple comb drivers"
+            )
+        driver[rule.target] = rule
+
+    reads: Dict[CombRule, Set[Signal]] = {r: r.expr.signals() for r in rules}
+    for rule in rules:
+        if rule.target in reads[rule]:
+            raise ElaborationError(
+                f"combinational loop: {rule.target.name!r} reads itself"
+            )
+
+    # Kahn's algorithm over the rule graph (deterministic: declaration
+    # order is the tiebreak, so emitted source is reproducible).
+    deps: Dict[CombRule, Set[CombRule]] = {
+        r: {driver[s] for s in reads[r] if s in driver} for r in rules
+    }
+    ordered: List[CombRule] = []
+    remaining = list(rules)
+    satisfied: Set[CombRule] = set()
+    while remaining:
+        progressed = False
+        still = []
+        for rule in remaining:
+            if deps[rule] <= satisfied:
+                ordered.append(rule)
+                satisfied.add(rule)
+                progressed = True
+            else:
+                still.append(rule)
+        if not progressed:
+            names = ", ".join(sorted(r.target.name for r in still))
+            raise ElaborationError(f"combinational loop through: {names}")
+        remaining = still
+
+    external: List[Signal] = []
+    seen: Set[Signal] = set()
+    for rule in rules:  # declaration order for a stable sensitivity list
+        for sig in sorted(reads[rule], key=lambda s: s.name):
+            if sig not in driver and sig not in seen:
+                seen.add(sig)
+                external.append(sig)
+    return ordered, external
+
+
+class CombRegion:
+    """A levelized, compiled combinational region of one module.
+
+    Holds the ordered rules, the external sensitivity list, and the
+    straight-line 2-state function compiled by the emitter.  Evaluation
+    picks the compiled packed-int path when every input is fully
+    defined and falls back to the reference four-state IR walk
+    otherwise — the fallback *is* the specification the compiled code
+    is differentially tested against.
+    """
+
+    __slots__ = ("owner", "ordered", "inputs", "targets", "fn", "source")
+
+    def __init__(self, owner, rules: Sequence[CombRule]):
+        from .emitter import compile_region
+
+        self.owner = owner
+        self.ordered, self.inputs = levelize(rules)
+        self.targets = [r.target for r in self.ordered]
+        self.fn, self.source = compile_region(owner, self.ordered, self.inputs)
+
+    def evaluate(self) -> None:
+        """Recompute every target from current input values."""
+        vals = []
+        defined = True
+        for sig in self.inputs:
+            lv = sig._value
+            if lv.xmask | lv.zmask:
+                defined = False
+                break
+            vals.append(lv.value)
+        if defined:
+            outs = self.fn(*vals)
+            for sig, out in zip(self.targets, outs):
+                sig.next = out
+            return
+        # four-state fallback: reference IR walk in level order, with
+        # intra-region values settled through the environment
+        env: Dict[Signal, LogicVector] = {}
+        for rule in self.ordered:
+            lv = rule.expr.eval_lv(env)
+            env[rule.target] = lv
+            rule.target.next = lv
+
+    def process(self):
+        """The region's scheduler process: settle, then wait on inputs.
+
+        Works identically under both execution backends — the compiled
+        part is the *body*, not the scheduling.
+        """
+        from ..events import Edge, First
+
+        inputs = self.inputs
+        if not inputs:
+            self.evaluate()
+            return
+            yield  # pragma: no cover - makes this a generator function
+        single = inputs[0] if len(inputs) == 1 else None
+        while True:
+            self.evaluate()
+            if single is not None:
+                yield Edge(single)
+            else:
+                yield First(*[Edge(s) for s in inputs])

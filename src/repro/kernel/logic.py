@@ -96,6 +96,27 @@ def intern_defined(width: int, value: int) -> "LogicVector":
     return _new_defined(width, value)
 
 
+_small_tables: dict = {}
+
+
+def _small_table(width: int) -> list:
+    """Shared vectors for the first 256 values of a wide width.
+
+    Wide signals can't intern their full value range, but the values
+    that actually flow through buses and counters are overwhelmingly
+    small (strobes, opcodes, beat data, addresses near a base).  One
+    lazily-built 256-entry table per width lets ``sig.next = small_int``
+    reuse a shared vector instead of allocating.  Only meaningful for
+    ``width > _INTERN_WIDTH`` (below that the full table exists).
+    """
+    table = _small_tables.get(width)
+    if table is None:
+        table = _small_tables[width] = [
+            _new_defined(width, v) for v in range(256)
+        ]
+    return table
+
+
 class LogicVector:
     """An immutable ``width``-bit four-state logic value."""
 

@@ -20,12 +20,33 @@ from __future__ import annotations
 from functools import partial
 from typing import Optional, Union
 
-from .logic import _INTERN_WIDTH, LogicVector, _intern_table, _new_defined
+from .logic import (
+    _INTERN_WIDTH,
+    LogicVector,
+    _intern_table,
+    _new_defined,
+    _small_table,
+)
 
-__all__ = ["Signal", "SignalWriteError"]
+__all__ = ["Signal", "SignalWriteError", "set_width_debug"]
 
 _BIT0 = _intern_table(1)[0]
 _BIT1 = _intern_table(1)[1]
+
+#: When True, a commit whose coerced value does not already have the
+#: signal's declared width raises instead of silently normalizing.
+#: Normal operation keeps this off (the commit path resizes); tests and
+#: debug runs flip it via :func:`set_width_debug` to catch the caller
+#: that produced the mis-sized vector.
+WIDTH_DEBUG = False
+
+
+def set_width_debug(enabled: bool) -> bool:
+    """Toggle the commit width-invariant assertion; returns the old value."""
+    global WIDTH_DEBUG
+    old = WIDTH_DEBUG
+    WIDTH_DEBUG = bool(enabled)
+    return old
 
 
 class SignalWriteError(RuntimeError):
@@ -101,7 +122,14 @@ class Signal:
             self._make = self._small.__getitem__
         else:
             self._small = None
-            self._make = partial(_new_defined, width)
+            small = _small_table(width)
+            small_get = small.__getitem__
+            fresh = partial(_new_defined, width)
+
+            def _make(value, _get=small_get, _fresh=fresh):
+                return _get(value) if value < 256 else _fresh(value)
+
+            self._make = _make
         if init is None:
             self._value = LogicVector.unknown(width)
         else:
@@ -193,11 +221,19 @@ class Signal:
         visible in waveforms), but edge triggers and ``add_monitor``
         callbacks are intentionally bypassed: a force is an
         out-of-band testbench action, not a design event.
+
+        A force also *cancels* any update already queued for this signal
+        in the current delta cycle: ``s.next = 5; s.force(0xAA)`` leaves
+        the signal at ``0xAA``.  Without the cancellation the queued ``5``
+        would silently overwrite the forced value at the next update
+        phase, losing the injected stimulus.
         """
         self._value = _coerce_value(value, self.width)
         sim = self._sim
-        if sim is not None and sim._vcd is not None and self._vcd_id is not None:
-            sim._vcd._record(sim.time, self)
+        if sim is not None:
+            sim._updates.pop(self, None)
+            if sim._vcd is not None and self._vcd_id is not None:
+                sim._vcd._record(sim.time, self)
 
     # ------------------------------------------------------------------
     # Kernel interface
@@ -211,12 +247,43 @@ class Signal:
             self._monitors = []
         self._monitors.append(callback)
 
+    def _normalize_width(self, new: LogicVector) -> LogicVector:
+        """Enforce the commit width invariant: stored vectors have
+        exactly ``self.width`` bits.
+
+        ``next``/``force`` coerce before scheduling, but raw scheduler
+        clients (``sim._updates[sig] = lv``) can hand the update phase a
+        vector of a different width; without normalization a same-value
+        commit of the wrong width would be stored verbatim, permanently
+        corrupting the signal's declared width (VCD rendering, slicing
+        and the 2-state fast-path comparisons all key off it).  Under
+        :data:`WIDTH_DEBUG` the mis-sized commit raises so the caller
+        can be found.
+        """
+        if WIDTH_DEBUG:
+            raise SignalWriteError(
+                f"commit of width-{new.width} vector to {self.name!r} "
+                f"(declared width {self.width}); enable path: set_width_debug"
+            )
+        if new.width < self.width or not (
+            (new.value | new.xmask | new.zmask) >> self.width
+        ):
+            return new.resize(self.width)
+        raise SignalWriteError(
+            f"value of width {new.width} does not fit signal "
+            f"{self.name!r} of width {self.width}"
+        )
+
     def _apply(self, new: LogicVector):
         """Commit a scheduled update; returns (changed, old_value).
 
         The simulator's update phase inlines this logic; this method is
         the canonical (and test-visible) definition of commit semantics.
+        Committed vectors always have exactly ``self.width`` bits (see
+        :meth:`_normalize_width`).
         """
+        if new.width != self.width:
+            new = self._normalize_width(new)
         old = self._value
         if new.xmask | new.zmask | old.xmask | old.zmask:
             # four-state path: full field comparison

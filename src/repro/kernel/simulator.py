@@ -111,9 +111,23 @@ class Simulator:
     #: safety net against combinational loops
     MAX_DELTAS_PER_STEP = 10_000
 
-    def __init__(self, profile: bool = False):
+    def __init__(self, profile: bool = False, backend: str = "interp"):
+        if backend not in ("interp", "codegen"):
+            raise ValueError(
+                f"unknown execution backend {backend!r} "
+                f"(expected 'interp' or 'codegen')"
+            )
         self.time = 0  # picoseconds
         self.profile = profile
+        self.backend_name = backend
+        #: the ExecutionBackend for compiled execution, or None for the
+        #: default interpreter (which runs inline, with no dispatch
+        #: layer on the hot path)
+        self._backend = None
+        if backend == "codegen":
+            from .codegen.backend import CodegenBackend
+
+            self._backend = CodegenBackend(self)
         self.stats = SimStats()
         self._seq = 0
         self._timed: List[Tuple[int, int, Trigger]] = []
@@ -144,6 +158,10 @@ class Simulator:
         """Register a module hierarchy: binds signals, starts processes."""
         self._modules.append(module)
         module._elaborate(self)
+        if self._backend is not None:
+            # the description changed: compiled execution artifacts
+            # (the scheduler driver's clock constants) must be rebuilt
+            self._backend.invalidate()
 
     def register_signal(self, signal: Signal) -> None:
         signal._bind(self)
@@ -303,6 +321,8 @@ class Simulator:
             vcd = self._vcd
             time_now = self.time
             for signal, new in items:
+                if new.width != signal.width:
+                    new = signal._normalize_width(new)
                 old = signal._value
                 if new.xmask | new.zmask | old.xmask | old.zmask:
                     # four-state path
@@ -400,6 +420,13 @@ class Simulator:
                 f"cannot run until t={until}ps: simulation is already at "
                 f"t={self.time}ps"
             )
+        if (
+            self._backend is not None
+            and not self.profile
+            and self.tracer is None
+            and self._vcd is None
+        ):
+            return self._backend.run(until)
         tracer = self.tracer
         if tracer is not None and tracer.enabled_for("kernel"):
             span = tracer.begin("kernel", "run")
@@ -518,6 +545,8 @@ class Simulator:
                             items = list(updates.items())
                             updates.clear()
                         for signal, new in items:
+                            if new.width != signal.width:
+                                new = signal._normalize_width(new)
                             old = signal._value
                             if new.xmask | new.zmask | old.xmask | old.zmask:
                                 # four-state path
@@ -607,6 +636,13 @@ class Simulator:
 
     def run_until_event(self, event: Event, timeout: Optional[int] = None) -> bool:
         """Run until ``event`` fires; returns False on timeout/quiescence."""
+        if (
+            self._backend is not None
+            and not self.profile
+            and self.tracer is None
+            and self._vcd is None
+        ):
+            return self._backend.run_until_event(event, timeout)
         tracer = self.tracer
         if tracer is not None and tracer.enabled_for("kernel"):
             span = tracer.begin("kernel", "run_until_event", event=event.name)

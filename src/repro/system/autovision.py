@@ -85,10 +85,17 @@ class SystemConfig:
     #: optional category filter, e.g. ``frozenset({"reconfig"})``;
     #: ``None`` records every category
     trace_categories: Optional[FrozenSet[str]] = None
+    #: kernel execution backend (see :mod:`repro.kernel.codegen`):
+    #: ``"interp"`` is the event-driven interpreter, ``"codegen"``
+    #: compiles a per-design scheduler driver at first run and falls
+    #: back to the interpreter for anything it cannot prove exact
+    backend: str = "interp"
 
     def __post_init__(self) -> None:
         if self.method not in ("resim", "vmux", "dcs"):
             raise ValueError(f"unknown simulation method {self.method!r}")
+        if self.backend not in ("interp", "codegen"):
+            raise ValueError(f"unknown execution backend {self.backend!r}")
         if self.injector_policy not in ("x", "none"):
             raise ValueError(f"unknown injector policy {self.injector_policy!r}")
         if self.watchdog_cycles < 1:
@@ -388,7 +395,8 @@ class AutoVisionSystem(Module):
         installed before elaboration, so the trace covers the whole run.
         """
         sim = Simulator(
-            profile=self.config.profile if profile is None else profile
+            profile=self.config.profile if profile is None else profile,
+            backend=self.config.backend,
         )
         if self.config.tracing:
             # deferred import: repro.analysis pulls in profiling, which

@@ -156,7 +156,7 @@ class FuzzScenario:
     #: only (testing the differential checker and the shrinker)
     divergence_fault: Optional[str] = None
 
-    def config(self, method: str) -> SystemConfig:
+    def config(self, method: str, backend: str = "interp") -> SystemConfig:
         faults = (
             frozenset({self.divergence_fault})
             if self.divergence_fault and method == "resim"
@@ -164,6 +164,7 @@ class FuzzScenario:
         )
         return SystemConfig(
             method=method,
+            backend=backend,
             width=self.width,
             height=self.height,
             n_objects=self.n_objects,
@@ -444,7 +445,9 @@ def _arm_stimulus(scenario: FuzzScenario, system, software, sim) -> None:
             )
 
 
-def _run_side(scenario: FuzzScenario, method: str) -> SideResult:
+def _run_side(
+    scenario: FuzzScenario, method: str, backend: str = "interp"
+) -> SideResult:
     """Run one method's simulation and collect every diffed observable."""
     captured: dict = {}
 
@@ -456,7 +459,9 @@ def _run_side(scenario: FuzzScenario, method: str) -> SideResult:
         _arm_stimulus(scenario, system, software, sim)
 
     result = run_system(
-        scenario.config(method), n_frames=scenario.n_frames, prepare=prepare
+        scenario.config(method, backend),
+        n_frames=scenario.n_frames,
+        prepare=prepare,
     )
     system = captured["system"]
     coverage = captured["coverage"]
@@ -559,11 +564,19 @@ def diff_sides(
     return diffs
 
 
-def run_differential(scenario: FuzzScenario) -> FuzzRecord:
-    """Run one scenario under both methods and classify the divergences."""
+def run_differential(
+    scenario: FuzzScenario, backend: str = "interp"
+) -> FuzzRecord:
+    """Run one scenario under both methods and classify the divergences.
+
+    ``backend`` picks the kernel execution backend for both sides; the
+    record's observables are backend-independent by the codegen parity
+    contract, so a differential found under one backend must reproduce
+    under the other.
+    """
     scenario.validate()
-    resim = _run_side(scenario, "resim")
-    vmux = _run_side(scenario, "vmux")
+    resim = _run_side(scenario, "resim", backend)
+    vmux = _run_side(scenario, "vmux", backend)
     return FuzzRecord(
         scenario=scenario,
         resim=resim,
@@ -572,9 +585,9 @@ def run_differential(scenario: FuzzScenario) -> FuzzRecord:
     )
 
 
-def _fuzz_task(scenario: FuzzScenario) -> FuzzRecord:
+def _fuzz_task(scenario: FuzzScenario, backend: str = "interp") -> FuzzRecord:
     """Fleet task: module-level and picklable."""
-    return run_differential(scenario)
+    return run_differential(scenario, backend)
 
 
 def _failed_record(scenario: FuzzScenario, error: str) -> FuzzRecord:
@@ -668,6 +681,7 @@ def run_fuzz_campaign(
     wave_size: int = 8,
     inject_divergence: Optional[str] = None,
     fault_injection: Optional[Dict[str, str]] = None,
+    backend: str = "interp",
 ) -> FuzzReport:
     """Generate-and-check until coverage closes or the budget dries.
 
@@ -696,7 +710,11 @@ def run_fuzz_campaign(
             for i in range(index, min(index + wave_size, budget))
         ]
         specs = [
-            RunSpec(f"fuzz:{s.index}", _fuzz_task, {"scenario": s})
+            RunSpec(
+                f"fuzz:{s.index}",
+                _fuzz_task,
+                {"scenario": s, "backend": backend},
+            )
             for s in batch
         ]
         keyset = {s.key for s in specs}

@@ -22,7 +22,12 @@ def test_workloads_return_their_work_counts():
 def test_measure_selected_kernels(monkeypatch):
     monkeypatch.setitem(
         benchkit.KERNELS, "clock_toggle",
-        (lambda: benchkit.bench_clock_toggle(200), "cycles"),
+        (
+            lambda backend="interp": benchkit.bench_clock_toggle(
+                200, backend=backend
+            ),
+            "cycles",
+        ),
     )
     results = benchkit.measure(repeats=1, kernels=["clock_toggle"])
     assert set(results) == {"clock_toggle"}
@@ -41,6 +46,39 @@ def test_baseline_round_trip(tmp_path):
     benchkit.write_baseline(results, path)
     loaded = benchkit.load_baseline(path)
     assert loaded["clock_toggle"]["per_sec"] == 200.0
+
+
+def test_baseline_records_backend(tmp_path):
+    results = {
+        "clock_toggle": {
+            "work": 100, "unit": "cycles", "best_s": 0.5, "per_sec": 200.0,
+        }
+    }
+    path = tmp_path / "BENCH_kernel_codegen.json"
+    benchkit.write_baseline(results, path, backend="codegen")
+    assert json.loads(path.read_text())["backend"] == "codegen"
+    assert benchkit.baseline_backend(path) == "codegen"
+    # the kernels mapping loads regardless of which backend produced it
+    assert benchkit.load_baseline(path)["clock_toggle"]["per_sec"] == 200.0
+
+
+def test_pre_backend_baseline_still_loads(tmp_path):
+    """Files written before the backend field existed keep working."""
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({
+        "schema": 1,
+        "kernels": {"clock_toggle": {"per_sec": 10.0}},
+    }))
+    assert benchkit.load_baseline(path)["clock_toggle"]["per_sec"] == 10.0
+    assert benchkit.baseline_backend(path) == "interp"
+
+
+def test_default_baseline_path_per_backend():
+    assert benchkit.default_baseline_path("interp") == benchkit.DEFAULT_BASELINE
+    assert (
+        benchkit.default_baseline_path("codegen")
+        == benchkit.DEFAULT_CODEGEN_BASELINE
+    )
 
 
 def test_load_baseline_rejects_unknown_schema(tmp_path):
@@ -66,7 +104,11 @@ def _patch_tiny_kernels(monkeypatch):
         fn = benchkit.KERNELS[name][0]
         unit = benchkit.KERNELS[name][1]
         monkeypatch.setitem(
-            benchkit.KERNELS, name, (lambda fn=fn, n=n: fn(n), unit)
+            benchkit.KERNELS, name,
+            (
+                lambda fn=fn, n=n, backend="interp": fn(n, backend=backend),
+                unit,
+            ),
         )
 
 
@@ -119,3 +161,16 @@ def test_cli_bench_json_output(monkeypatch, capsys):
 def test_cli_bench_unknown_kernel(capsys):
     assert main(["bench", "--kernel", "bogus", "--repeats", "1"]) == 2
     assert "unknown kernel" in capsys.readouterr().err
+
+
+def test_cli_bench_codegen_backend(tmp_path, monkeypatch, capsys):
+    """--backend codegen measures, records, and checks its own baseline."""
+    _patch_tiny_kernels(monkeypatch)
+    baseline = tmp_path / "BENCH_kernel_codegen.json"
+    assert main(["bench", "--update", "--repeats", "1",
+                 "--backend", "codegen", "--baseline", str(baseline)]) == 0
+    assert json.loads(baseline.read_text())["backend"] == "codegen"
+    assert main(["bench", "--check", "--repeats", "1",
+                 "--backend", "codegen", "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "codegen backend" in out
