@@ -12,20 +12,29 @@ Commands:
 ``bench``      kernel throughput micro-benchmarks; ``--check`` gates
                against the committed BENCH_kernel.json baseline;
                ``--system`` measures the end-to-end sweep instead
-               (cache warmth + fleet parallelism, BENCH_system.json)
+               (cache warmth + fleet parallelism, BENCH_system.json);
+               ``--lanes-bench`` measures lane-batched vs scalar
+               scenarios/sec (BENCH_lanes.json)
 ``campaign``   the full Table III bug-detection campaign; ``--jobs N``
                fans runs out to fleet workers with byte-identical
-               reports
+               reports; ``--lanes N`` batches compatible runs into
+               lane blocks, also byte-identical
 ``soak``       seeded transient-fault soak campaign exercising the
                detect/abort/retry recovery stack; ``--check`` fails on
-               silent corruption or hangs; supports ``--jobs``
+               silent corruption or hangs; supports ``--jobs`` and
+               ``--lanes``
 ``trace``      run with structured tracing on and export a Chrome
                ``trace_event`` JSON (Perfetto-loadable) plus a text
                timeline and counter summary
 ``fuzz``       coverage-closure fuzzing: constrained-random scenarios
                run under both ReSim and VMux with differential
                checking; real divergences are auto-shrunk to a replay
-               file, ``--replay`` re-runs one; supports ``--jobs``
+               file, ``--replay`` re-runs one; supports ``--jobs`` and
+               ``--lanes``
+
+``main`` parses through :func:`build_parser`, which exists as a
+separate function so tooling (``tools/check_docs.py``) can introspect
+the real argparse tree and fail CI on documented flags that drifted.
 """
 
 from __future__ import annotations
@@ -39,7 +48,7 @@ from .analysis import build_timeline, format_table, profile_one_frame
 from .system.scenarios import scenario, scenario_names
 from .verif import BUGS, DprCoverage, run_system
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -188,6 +197,8 @@ def _cmd_bench(args) -> int:
 
     if args.system:
         return _bench_system(args)
+    if args.lanes_bench:
+        return _bench_lanes(args)
 
     kernels = args.kernel or None
     try:
@@ -318,6 +329,76 @@ def _bench_system(args) -> int:
     return 0
 
 
+def _bench_lanes(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .analysis import benchkit
+
+    result = benchkit.measure_lanes(lanes=args.lanes, repeats=args.repeats)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else benchkit.DEFAULT_LANES_BASELINE
+    )
+    if args.update:
+        benchkit.write_lanes_baseline(result, baseline_path)
+
+    if args.json:
+        print(_json.dumps(result, indent=2))
+    else:
+        rows = [
+            ("scalar (interp)", f"{result['scalar']['per_sec']:,.1f}/s", "-"),
+            (
+                f"laned x{result['lanes']} (cold cache)",
+                f"{result['laned_cold']['per_sec']:,.1f}/s",
+                f"{result['speedup_cold']:.1f}x",
+            ),
+            (
+                f"laned x{result['lanes']} (warm cache)",
+                f"{result['laned_warm']['per_sec']:,.1f}/s",
+                f"{result['speedup_warm']:.1f}x",
+            ),
+        ]
+        print(
+            format_table(
+                ["Mode", "Throughput", "Speedup"],
+                rows,
+                title=f"Lane batch benchmark ({result['scenarios']} scenarios"
+                      f" x {result['cycles']} cycles, min of {args.repeats})",
+            )
+        )
+
+    if args.update:
+        print(f"lane baseline written to {baseline_path}")
+        return 0
+    if not args.check:
+        return 0
+
+    baseline = None
+    if baseline_path.exists():
+        baseline = benchkit.load_lanes_baseline(baseline_path)
+    comparison = benchkit.compare_lanes(
+        result, baseline, tolerance=args.tolerance
+    )
+    failed = [row for row in comparison if not row["ok"]]
+    for row in comparison:
+        verdict = "ok" if row["ok"] else "REGRESSED"
+        print(
+            f"[{verdict:9s}] {row['name']}: {row['per_sec']:,.2f} vs "
+            f"floor {row['baseline_per_sec']:,.2f} ({row['ratio']:.2f}x)"
+        )
+    if failed:
+        print(
+            f"{len(failed)} lane gate(s) failed (min speedup "
+            f"{benchkit.MIN_LANE_SPEEDUP:g}x, tolerance "
+            f"{args.tolerance:.0%} vs {baseline_path})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_campaign(args) -> int:
     from .analysis.reporting import canonical_json
     from .verif import BUGS
@@ -333,6 +414,7 @@ def _cmd_campaign(args) -> int:
         n_frames=args.frames,
         include_baseline=not args.no_baseline,
         jobs=args.jobs,
+        lanes=args.lanes,
     )
 
     if args.json:
@@ -395,6 +477,7 @@ def _cmd_soak(args) -> int:
         seed=args.seed,
         transients=args.transient or None,
         jobs=args.jobs,
+        lanes=args.lanes,
     )
 
     if args.json:
@@ -472,6 +555,7 @@ def _cmd_fuzz(args) -> int:
         budget=args.budget,
         seed=args.seed,
         jobs=args.jobs,
+        lanes=args.lanes,
         wave_size=args.wave,
         inject_divergence=args.inject_divergence or None,
         backend=args.backend,
@@ -595,7 +679,13 @@ def _cmd_timeline(_args) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` argparse tree.
+
+    Separate from :func:`main` so documentation tooling can walk the
+    real subcommands and option strings (``tools/check_docs.py`` fails
+    CI when a doc mentions a flag that does not exist here).
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AutoVision / ReSim dynamic-reconfiguration simulation",
@@ -671,6 +761,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--frames", type=int, default=1,
         help="frames per system run for --system (default 1)",
     )
+    p_bench.add_argument(
+        "--lanes-bench", action="store_true",
+        help="lane-batch benchmark instead of kernel micro-benchmarks "
+             "(scalar vs laned scenarios/sec; baseline: "
+             "benchmarks/BENCH_lanes.json)",
+    )
+    p_bench.add_argument(
+        "--lanes", type=int, default=8,
+        help="lane width for --lanes-bench (default 8)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_camp = sub.add_parser(
@@ -689,6 +789,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="fleet worker processes (default 1: serial; report bytes are "
              "identical for any value)",
+    )
+    p_camp.add_argument(
+        "--lanes", type=int, default=1,
+        help="lane-block width for batched execution (default 1: scalar; "
+             "report bytes are identical for any value)",
     )
     p_camp.add_argument(
         "--no-baseline", action="store_true",
@@ -735,6 +840,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fleet worker processes (default 1: serial; report bytes are "
              "identical for any value)",
     )
+    p_soak.add_argument(
+        "--lanes", type=int, default=1,
+        help="lane-block width for batched execution (default 1: scalar; "
+             "report bytes are identical for any value)",
+    )
     p_soak.set_defaults(func=_cmd_soak)
 
     p_fuzz = sub.add_parser(
@@ -753,6 +863,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="fleet worker processes (default 1: serial; report bytes are "
              "identical for any value)",
+    )
+    p_fuzz.add_argument(
+        "--lanes", type=int, default=1,
+        help="lane-block width for batched execution (default 1: scalar; "
+             "report bytes are identical for any value)",
     )
     p_fuzz.add_argument(
         "--wave", type=int, default=8,
@@ -820,6 +935,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_trace.set_defaults(func=_cmd_trace)
 
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)
 

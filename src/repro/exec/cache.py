@@ -165,14 +165,24 @@ class ArtifactCache:
 def merge_stats(
     *stat_dicts: Dict[str, Dict[str, int]]
 ) -> Dict[str, Dict[str, int]]:
-    """Sum per-kind hit/miss counters from several caches (fleet merge)."""
+    """Sum per-kind counters from several caches (fleet merge).
+
+    ``hits``/``misses`` are always present in the result; any other
+    integer counter a producer reports for a kind (e.g. the lane
+    engine's ``peeled``/``vectorized`` accounting alongside its
+    ``lane_code`` artifacts) is summed under the same kind rather than
+    tracked in a parallel structure.
+    """
     out: Dict[str, Dict[str, int]] = {}
     for stats in stat_dicts:
         for kind, c in stats.items():
             slot = out.setdefault(kind, {"hits": 0, "misses": 0})
-            slot["hits"] += c.get("hits", 0)
-            slot["misses"] += c.get("misses", 0)
-    return {k: out[k] for k in sorted(out)}
+            for counter, n in c.items():
+                slot[counter] = slot.get(counter, 0) + n
+    return {
+        kind: {c: slot[c] for c in sorted(slot)}
+        for kind, slot in sorted(out.items())
+    }
 
 
 #: the process-global cache every build path consults

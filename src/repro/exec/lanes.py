@@ -1,0 +1,254 @@
+"""RunSpec batching for lane-vectorized execution.
+
+The fleet (:mod:`repro.exec.fleet`) treats every :class:`RunSpec` as an
+opaque unit; this layer sits in front of it and groups *compatible*
+specs — consecutive specs calling the same registered task function —
+into **lane blocks** of up to ``lanes`` members.  Each block is
+dispatched as one fleet task whose runner advances all members at once
+(the vector engine of :mod:`repro.kernel.lanes`), or, when the workload
+cannot be vectorized, executes them scalar one after another — the
+plan-time peel-off.
+
+How a task function executes its block is declared up front:
+
+* :func:`register_lane_runner` binds a task function to a runner that
+  understands its kwargs (typically wrapping
+  :func:`repro.kernel.lanes.run_lane_block`);
+* :func:`register_scalar_peel` declares that a task is a full
+  event-driven system run — its blocks exist (the batching, crash
+  isolation and accounting are identical) but every member peels to the
+  ordinary scalar call.  The campaign/soak/fuzz system runs register
+  this way, which is why their ``--lanes N`` reports are byte-identical
+  to scalar by construction;
+* an *unregistered* task function passes through the planner untouched.
+
+:func:`run_many_laned` preserves the full :func:`~repro.exec.fleet.run_many`
+contract: outcomes come back in input order, per-member failures keep
+the fleet's ``"ExcType: message"`` error format, and a block that dies
+with its worker fails all of its members.  Lane-block accounting
+(lanes entered / vectorized / peeled) is merged into the report's
+per-kind cache counters under the ``lane_blocks`` kind, alongside the
+``lane_code`` artifact hits and misses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .cache import merge_stats
+from .fleet import FleetReport, RunOutcome, RunSpec, run_many
+
+__all__ = [
+    "LANE_RUNNERS",
+    "register_lane_runner",
+    "register_scalar_peel",
+    "plan_lane_blocks",
+    "run_many_laned",
+]
+
+#: task function -> block runner.  A runner takes the members'
+#: kwargs list and returns ``(values, stats)`` where ``values[i]`` is
+#: ``{"ok": bool, "value": Any, "error": str}`` for member i and
+#: ``stats`` is an int-counter dict merged under the ``lane_blocks``
+#: cache kind.  Populated at import time of each task's module, so
+#: fleet workers resolve the same runner after unpickling the task.
+LANE_RUNNERS: Dict[Callable, Callable] = {}
+
+
+def register_lane_runner(fn: Callable, runner: Callable) -> None:
+    """Declare ``runner`` as the block executor for task ``fn``."""
+    LANE_RUNNERS[fn] = runner
+
+
+def _scalar_peel_runner(fn: Callable):
+    def run(kwargs_list: Sequence[dict]):
+        values = []
+        for kwargs in kwargs_list:
+            try:
+                values.append({"ok": True, "value": fn(**kwargs), "error": ""})
+            except Exception as exc:  # noqa: BLE001 - fleet failure contract
+                values.append(
+                    {
+                        "ok": False,
+                        "value": None,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+        n = len(kwargs_list)
+        return values, {"lanes": n, "vectorized": 0, "peeled": n}
+
+    return run
+
+
+def register_scalar_peel(fn: Callable) -> None:
+    """Declare task ``fn`` as a plan-time peel: blocks run members scalar.
+
+    This is the divergence rule for full event-driven system runs (the
+    campaign / soak / fuzz tasks): they need the whole kernel, so every
+    lane peels, and a block is simply the same scalar calls under block
+    accounting.
+    """
+    LANE_RUNNERS[fn] = _scalar_peel_runner(fn)
+
+
+def _run_lane_block_task(fn: Callable, kwargs_list: List[dict]):
+    """The fleet task wrapping one lane block (module-level, picklable)."""
+    runner = LANE_RUNNERS.get(fn)
+    if runner is None:
+        # defensive: planner only blocks registered tasks, but a spawn
+        # worker could in principle race module import side effects
+        runner = _scalar_peel_runner(fn)
+    values, stats = runner(kwargs_list)
+    if len(values) != len(kwargs_list):
+        raise RuntimeError(
+            f"lane runner for {fn.__name__} returned {len(values)} values "
+            f"for {len(kwargs_list)} members"
+        )
+    return {"values": values, "stats": stats}
+
+
+def plan_lane_blocks(specs: Sequence[RunSpec], lanes: int):
+    """Group consecutive same-task registered specs into lane blocks.
+
+    Returns ``(planned_specs, members_of)`` where ``members_of`` maps a
+    block spec's key to the member indices (into ``specs``) it carries;
+    pass-through specs do not appear in ``members_of``.  Only adjacent
+    specs are grouped — the planner never reorders, so unpacking block
+    results preserves input order by construction.
+    """
+    planned: List[RunSpec] = []
+    members_of: Dict[str, List[int]] = {}
+    run: List[int] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        for lo in range(0, len(run), lanes):
+            chunk = run[lo : lo + lanes]
+            first = specs[chunk[0]]
+            key = f"lanes[{first.key}+{len(chunk) - 1}]"
+            members_of[key] = chunk
+            planned.append(
+                RunSpec(
+                    key=key,
+                    fn=_run_lane_block_task,
+                    kwargs={
+                        "fn": first.fn,
+                        "kwargs_list": [specs[i].kwargs for i in chunk],
+                    },
+                )
+            )
+        run.clear()
+
+    for index, spec in enumerate(specs):
+        if spec.fn in LANE_RUNNERS:
+            if run and specs[run[-1]].fn is not spec.fn:
+                flush()
+            run.append(index)
+        else:
+            flush()
+            planned.append(spec)
+    flush()
+    return planned, members_of
+
+
+def run_many_laned(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    lanes: int = 1,
+    crash_retries: int = 1,
+    fault_injection: Optional[Dict[str, str]] = None,
+) -> FleetReport:
+    """:func:`~repro.exec.fleet.run_many` with lane-block batching.
+
+    ``lanes=1`` is a strict passthrough.  For ``lanes>1`` registered
+    specs are grouped into blocks, executed (vectorized or peeled, per
+    their runner), and unpacked back into per-spec outcomes in input
+    order; fault-injection keys naming a blocked member are remapped to
+    the member's block.
+    """
+    specs = list(specs)
+    if lanes <= 1:
+        return run_many(
+            specs,
+            jobs=jobs,
+            crash_retries=crash_retries,
+            fault_injection=fault_injection,
+        )
+
+    planned, members_of = plan_lane_blocks(specs, lanes)
+    block_of = {
+        specs[i].key: key for key, chunk in members_of.items() for i in chunk
+    }
+    if fault_injection:
+        fault_injection = {
+            block_of.get(key, key): mode
+            for key, mode in fault_injection.items()
+        }
+
+    report = run_many(
+        planned,
+        jobs=jobs,
+        crash_retries=crash_retries,
+        fault_injection=fault_injection,
+    )
+
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    index_of = {spec.key: i for i, spec in enumerate(specs)}
+    block_stats: List[Dict[str, int]] = []
+    for outcome in report.outcomes:
+        chunk = members_of.get(outcome.key)
+        if chunk is None:
+            pos = index_of[outcome.key]
+            outcomes[pos] = RunOutcome(
+                key=outcome.key,
+                index=pos,
+                ok=outcome.ok,
+                value=outcome.value,
+                error=outcome.error,
+                elapsed_s=outcome.elapsed_s,
+                attempts=outcome.attempts,
+                worker=outcome.worker,
+            )
+            continue
+        if outcome.ok:
+            values = outcome.value["values"]
+            block_stats.append(outcome.value.get("stats") or {})
+        else:
+            # the whole block failed (e.g. its worker died past the
+            # retry budget): every member fails with the block's error
+            values = [
+                {"ok": False, "value": None, "error": outcome.error}
+                for _ in chunk
+            ]
+        per_member = outcome.elapsed_s / max(len(chunk), 1)
+        for member, v in zip(chunk, values):
+            outcomes[member] = RunOutcome(
+                key=specs[member].key,
+                index=member,
+                ok=v["ok"],
+                value=v["value"],
+                error=v["error"],
+                elapsed_s=per_member,
+                attempts=outcome.attempts,
+                worker=outcome.worker,
+            )
+
+    cache = report.cache
+    if block_stats:
+        cache = merge_stats(cache, {"lane_blocks": _sum_stats(block_stats)})
+    return FleetReport(
+        jobs=report.jobs,
+        outcomes=[o for o in outcomes],
+        worker_crashes=report.worker_crashes,
+        cache=cache,
+        elapsed_s=report.elapsed_s,
+    )
+
+
+def _sum_stats(stat_dicts: Sequence[Dict[str, int]]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for stats in stat_dicts:
+        for counter, n in stats.items():
+            out[counter] = out.get(counter, 0) + int(n)
+    return out

@@ -55,21 +55,20 @@ from ..simulator import DeltaOverflowError
 from .backend import _unprime_edge
 from .expr import EmitContext
 
-__all__ = ["compile_region", "compile_driver"]
+__all__ = ["compile_region", "compile_lane_region", "compile_driver"]
 
 
 # ----------------------------------------------------------------------
 # Combinational regions
 # ----------------------------------------------------------------------
-def compile_region(owner, ordered_rules: Sequence, inputs: List[Signal]):
-    """Compile a levelized rule list to one straight-line function.
+def _emit_region_source(ordered_rules: Sequence, inputs: List[Signal], lanes: bool):
+    """Emit the straight-line region body in either dialect.
 
-    Returns ``(fn, source)``.  ``fn`` takes the region's external input
-    values as plain ints (callers guarantee they are fully defined) and
-    returns the target values as a tuple of ints, in rule order.
+    Returns ``(source, consts)``; the function is named ``_comb`` in
+    both dialects so callers compile interchangeably.
     """
     names = {sig: f"i{k}" for k, sig in enumerate(inputs)}
-    ctx = EmitContext(names)
+    ctx = EmitContext(names, lanes=lanes)
     lines = []
     for j, rule in enumerate(ordered_rules):
         tname = f"t{j}"
@@ -79,8 +78,45 @@ def compile_region(owner, ordered_rules: Sequence, inputs: List[Signal]):
     args = ", ".join(f"i{k}" for k in range(len(inputs)))
     rets = ", ".join(f"t{j}" for j in range(len(ordered_rules)))
     src = f"def _comb({args}):\n" + "\n".join(lines) + f"\n    return ({rets},)\n"
-    ns = dict(ctx.consts)
+    return src, ctx.consts
+
+
+def compile_region(owner, ordered_rules: Sequence, inputs: List[Signal]):
+    """Compile a levelized rule list to one straight-line function.
+
+    Returns ``(fn, source)``.  ``fn`` takes the region's external input
+    values as plain ints (callers guarantee they are fully defined) and
+    returns the target values as a tuple of ints, in rule order.
+    """
+    src, consts = _emit_region_source(ordered_rules, inputs, lanes=False)
+    ns = dict(consts)
     exec(compile(src, f"<comb:{owner.path}>", "exec"), ns)  # noqa: S102
+    return ns["_comb"], src
+
+
+def compile_lane_region(owner, ordered_rules: Sequence, inputs: List[Signal]):
+    """Compile a levelized rule list to one lane-vectorized function.
+
+    The NumPy dialect of :func:`compile_region`: the returned function
+    takes ``(N,)`` ``uint64`` arrays (one element per simulation lane)
+    for the region's external inputs and returns the target arrays in
+    rule order — one call settles the whole region for every lane at
+    once.  Raises :class:`~repro.kernel.codegen.expr.LaneWidthError`
+    when any involved signal exceeds the 64-bit lane representation
+    (the caller treats that as a plan-time divergence and stays on the
+    scalar path).
+    """
+    from .expr import LaneWidthError
+
+    for sig in inputs:
+        if sig.width > 64:
+            raise LaneWidthError(sig.width)
+    for rule in ordered_rules:
+        if rule.target.width > 64:
+            raise LaneWidthError(rule.target.width)
+    src, consts = _emit_region_source(ordered_rules, inputs, lanes=True)
+    ns = dict(consts)
+    exec(compile(src, f"<lane-comb:{owner.path}>", "exec"), ns)  # noqa: S102
     return ns["_comb"], src
 
 

@@ -15,6 +15,18 @@ The emitted form is what the elaboration-time compiler turns into
 straight-line region functions; the reference form is both the X/Z
 fallback path and the oracle for the compiled/interpreted differential
 property tests.
+
+:meth:`CombExpr.emit` has a second target dialect: when the
+:class:`EmitContext` is created with ``lanes=True`` the same node tree
+emits NumPy expressions over ``(N,)`` ``uint64`` lane arrays — one
+evaluation advances N simulation lanes at once (see
+:mod:`repro.kernel.lanes`).  Scalar-only constructs translate to their
+vector forms (``1 if a < b else 0`` becomes ``(a < b).astype(uint64)``,
+the mux ternary becomes ``np.where``, ``bit_count`` becomes
+``np.bitwise_count``); masks and literals are bound as ``np.uint64``
+constants so intermediate dtypes never leave ``uint64``.  Lane emission
+is defined for widths up to 64 bits; wider signals are a plan-time
+divergence and stay on the scalar path.
 """
 
 from __future__ import annotations
@@ -24,20 +36,69 @@ from typing import Dict, List, Set, Union
 from ..logic import LogicVector, _mask
 from ..signal import Signal
 
-__all__ = ["CombExpr", "SigRef", "Const", "ref", "mux", "cat"]
+__all__ = [
+    "CombExpr",
+    "SigRef",
+    "Const",
+    "LaneWidthError",
+    "ref",
+    "mux",
+    "cat",
+]
 
 
 class EmitContext:
-    """Collects named mask constants while an expression is emitted."""
+    """Collects named mask constants while an expression is emitted.
 
-    def __init__(self, names: Dict[Signal, str]):
+    ``lanes=True`` switches emission to the NumPy lane dialect: masks
+    and literals are bound as ``np.uint64`` scalars (so every
+    intermediate stays ``uint64`` under NEP-50 promotion) and the NumPy
+    helpers the vector translations need (``np.where``,
+    ``np.bitwise_count``, the ``uint64`` dtype) are pre-bound in the
+    compiled namespace.
+    """
+
+    def __init__(self, names: Dict[Signal, str], lanes: bool = False):
         self.names = names  # Signal -> local variable name
-        self.consts: Dict[str, int] = {}
+        self.consts: Dict[str, object] = {}
+        self.lanes = lanes
+        self._literals: Dict[int, str] = {}
+        if lanes:
+            import numpy as _np  # deferred: the scalar kernel stays numpy-free
+
+            self._np = _np
+            self.consts["NPU64"] = _np.uint64
+            self.consts["NPW"] = _np.where
+            self.consts["NPBC"] = _np.bitwise_count
 
     def mask(self, width: int) -> str:
+        if self.lanes and width > 64:
+            raise LaneWidthError(width)
         name = f"M{width}"
-        self.consts[name] = _mask(width)
+        m = _mask(width)
+        self.consts[name] = self._np.uint64(m) if self.lanes else m
         return name
+
+    def literal(self, value: int) -> str:
+        """A literal operand: inline int scalar, bound uint64 in lane mode."""
+        if not self.lanes:
+            return repr(value)
+        name = self._literals.get(value)
+        if name is None:
+            name = f"K{len(self._literals)}"
+            self._literals[value] = name
+            self.consts[name] = self._np.uint64(value)
+        return name
+
+
+class LaneWidthError(ValueError):
+    """A signal too wide for the packed-``uint64`` lane representation."""
+
+    def __init__(self, width: int):
+        super().__init__(
+            f"width {width} exceeds the 64-bit lane representation"
+        )
+        self.width = width
 
 
 def _to_expr(value: Union["CombExpr", Signal, LogicVector, int, bool], width_hint: int = 0) -> "CombExpr":
@@ -194,7 +255,7 @@ class Const(CombExpr):
     def emit(self, ctx):
         if not self.value.is_defined:
             raise ValueError("cannot emit 2-state code for an X/Z constant")
-        return repr(self.value.value)
+        return ctx.literal(self.value.value)
 
     def __repr__(self):
         return f"Const({self.value!r})"
@@ -325,6 +386,12 @@ class _Compare(CombExpr):
         return LogicVector(1, int(a.value < b.value))
 
     def emit(self, ctx):
+        if ctx.lanes:
+            # elementwise bool -> 0/1 per lane, kept in uint64
+            return (
+                f"(({self.a.emit(ctx)} {self.op} {self.b.emit(ctx)})"
+                f".astype(NPU64))"
+            )
         return f"(1 if {self.a.emit(ctx)} {self.op} {self.b.emit(ctx)} else 0)"
 
 
@@ -349,6 +416,13 @@ class _Reduce(CombExpr):
 
     def emit(self, ctx):
         a = self.a.emit(ctx)
+        if ctx.lanes:
+            if self.kind == "or":
+                return f"(({a} != {ctx.literal(0)}).astype(NPU64))"
+            if self.kind == "and":
+                return f"(({a} == {ctx.mask(self.a.width)}).astype(NPU64))"
+            # np.bitwise_count returns uint8 — widen before the parity AND
+            return f"((NPBC({a}).astype(NPU64)) & {ctx.literal(1)})"
         if self.kind == "or":
             return f"(1 if {a} else 0)"
         if self.kind == "and":
@@ -379,6 +453,15 @@ class _Mux(CombExpr):
         return picked.eval_lv(env).resize(self.width)
 
     def emit(self, ctx):
+        if ctx.lanes:
+            # every lane picks its own arm — no scalar collapse of the
+            # select, which is exactly what makes control flow on
+            # lane-varying data vectorizable here and a divergence
+            # everywhere else
+            return (
+                f"NPW({self.sel.emit(ctx)}, {self.a.emit(ctx)}, "
+                f"{self.b.emit(ctx)})"
+            )
         return (
             f"({self.a.emit(ctx)} if {self.sel.emit(ctx)} else {self.b.emit(ctx)})"
         )

@@ -1,0 +1,603 @@
+"""Lane-vectorized batch execution: N scenarios per elaborated design.
+
+Campaigns run hundreds of near-identical scenarios that differ only in
+seed and stimulus timing.  The fleet (:mod:`repro.exec.fleet`) already
+parallelizes *across processes*; this module parallelizes *within* one:
+N campaign **lanes** share a single elaborated design, and every
+2-state signal value is a packed NumPy array of shape ``(N,)`` — one
+combinational settle, one register step and one clock advance operate
+on all lanes at once, through the lane dialect of the codegen emitter
+(:func:`~repro.kernel.codegen.emitter.compile_lane_region`).
+
+The executable unit is a :class:`LaneProgram`: a clocked design built
+from the combinational expression IR (comb rules plus register
+transfers plus a per-lane stimulus function).  The same program runs on
+two paths:
+
+* **vector** — :class:`BatchBackend`, an
+  :class:`~repro.kernel.codegen.backend.ExecutionBackend` that advances
+  all lanes per step with compiled NumPy bitwise ops;
+* **scalar** — :func:`run_scalar_lane`, a plain generator process on
+  the ordinary interp/codegen :class:`~repro.kernel.simulator.Simulator`,
+  evaluating the *same* expression IR through the four-state reference
+  path.
+
+Both paths are derived from one :class:`LaneSpec`, which is what makes
+the determinism contract mechanical: for 2-state stimulus they compute
+the identical recurrence, so a lane's result does not depend on which
+path executed it.
+
+**Divergence and peel-off.**  A lane whose demands the vector engine
+cannot satisfy is *peeled*: it is removed from the lane arrays and
+re-run from t=0 on the scalar path (byte-determinism makes the re-run
+exact).  Plan-time divergences peel before the vector loop starts — a
+VCD or monitor demand in the lane's parameters, a signal wider than the
+64-bit packed representation, any behavioural process besides the
+clock and the comb region.  Run-time divergences peel mid-loop at the
+cycle boundary where they appear — X/Z stimulus, or an explicit
+``diverge_at_cycle`` parameter (the reconfig-timing-skew model: the
+lane's schedule departs from the shared one).  Divergence markers
+affect *how* a lane executes, never *what* it computes, so reports stay
+byte-identical for any lane count — the property
+``tests/kernel/test_lanes.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .clock import Clock
+from .codegen.backend import ExecutionBackend
+from .codegen.expr import CombExpr, EmitContext, LaneWidthError
+from .events import Event, RisingEdge, Timer
+from .logic import LogicVector, _mask
+from .module import Module
+from .signal import Signal
+
+__all__ = [
+    "LaneDivergence",
+    "LaneSpec",
+    "LaneProgram",
+    "LaneBlockStats",
+    "BatchBackend",
+    "run_lane_block",
+    "run_scalar_lane",
+]
+
+#: artifact-cache kind for compiled lane code (sources + constants);
+#: its hit/miss counters flow through the ordinary cache stats into
+#: fleet reports and ``repro bench --system``
+LANE_CODE_KIND = "lane_code"
+
+#: lane parameter keys reserved by the engine (all optional):
+#: ``vcd`` / ``monitor`` demand the interpreter's per-commit hooks and
+#: peel at plan time; ``diverge_at_cycle`` peels at that cycle boundary.
+RESERVED_PARAM_KEYS = ("vcd", "monitor", "diverge_at_cycle")
+
+_EMPTY_ENV: Dict[Signal, LogicVector] = {}
+
+
+class LaneDivergence(Exception):
+    """A lane (or a whole block) cannot stay on the vector path."""
+
+    def __init__(self, reason: str, lane: Optional[int] = None):
+        super().__init__(reason if lane is None else f"lane {lane}: {reason}")
+        self.reason = reason
+        self.lane = lane
+
+
+@dataclass(frozen=True)
+class LaneSpec:
+    """The lane-executable shape of one built design.
+
+    ``registers`` are posedge transfers ``target <= expr`` evaluated
+    against *pre-edge* values (all reads see the old state);
+    ``inputs`` are the stimulus-writable signals; ``taps`` are the
+    signals captured into the per-lane result.
+    """
+
+    registers: Tuple[Tuple[Signal, CombExpr], ...]
+    inputs: Tuple[Signal, ...]
+    taps: Tuple[Signal, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "registers", tuple(self.registers))
+        object.__setattr__(self, "inputs", tuple(self.inputs))
+        object.__setattr__(self, "taps", tuple(self.taps))
+
+
+@dataclass(frozen=True)
+class LaneProgram:
+    """A batchable campaign workload.
+
+    ``build()`` constructs a fresh design instance and returns
+    ``(module, clock, spec)``; it is called once for the shared vector
+    design and once per scalar (peeled) re-run.  ``stimulus(param,
+    cycle)`` returns ``{signal_name: value}`` applied before cycle 0
+    and after every posedge; it must be a pure function of its
+    arguments — that purity is what makes a peeled lane's from-t=0
+    re-run exact.  ``stimulus_cycles`` bounds the cycles with stimulus
+    (``None`` = every cycle); both paths honour it identically.
+    """
+
+    name: str
+    build: Callable[[], Tuple[Module, Clock, LaneSpec]]
+    n_cycles: int
+    stimulus: Callable[[dict, int], Optional[Dict[str, object]]]
+    stimulus_cycles: Optional[int] = None
+
+
+@dataclass
+class LaneBlockStats:
+    """Execution-side accounting of one lane block (not in reports)."""
+
+    lanes: int = 0
+    vectorized: int = 0
+    cycles: int = 0
+    #: (lane index, reason) for every peel, plan-time and run-time
+    peeled: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def peel_count(self) -> int:
+        return len(self.peeled)
+
+
+def _capture(lv: LogicVector):
+    """Canonical tap value: an int, or the X/Z triple for 4-state."""
+    if lv.is_defined:
+        return int(lv.value)
+    return {"value": int(lv.value), "x": int(lv.xmask), "z": int(lv.zmask)}
+
+
+# ----------------------------------------------------------------------
+# Scalar path (the peel-off target)
+# ----------------------------------------------------------------------
+def run_scalar_lane(program: LaneProgram, lane_param: dict,
+                    backend: str = "interp") -> dict:
+    """Run one lane of ``program`` on the ordinary event-driven kernel.
+
+    This is the existing scalar interp/codegen path divergent lanes
+    peel off to: a fresh build, a generator process driving
+    ``n_cycles`` rising edges, register transfers evaluated through the
+    four-state reference IR (so X/Z stimulus is handled exactly), taps
+    captured after the final settle.
+    """
+    from .simulator import Simulator
+
+    module, clock, spec = program.build()
+    sim = Simulator(backend=backend)
+    sim.add_module(module)
+    by_name: Dict[str, Signal] = {}
+    for mod in module.iter_tree():
+        for sig in mod.signals:
+            by_name.setdefault(sig.name, sig)
+
+    done = Event("lane_done")
+    taps: Dict[str, object] = {}
+    n_cycles = program.n_cycles
+    stim_cycles = program.stimulus_cycles
+
+    def stim_at(cycle: int):
+        if stim_cycles is not None and cycle >= stim_cycles:
+            return None
+        return program.stimulus(lane_param, cycle)
+
+    def driver():
+        st = stim_at(0)
+        if st:
+            for name, value in st.items():
+                by_name[name].next = value
+        for cycle in range(n_cycles):
+            yield RisingEdge(clock.out)
+            if spec.registers:
+                # evaluate every transfer against pre-edge values, then
+                # commit — non-blocking semantics, all reads see old state
+                staged = [
+                    (target, expr.eval_lv(_EMPTY_ENV))
+                    for target, expr in spec.registers
+                ]
+                for target, lv in staged:
+                    target.next = lv
+            st = stim_at(cycle + 1)
+            if st:
+                for name, value in st.items():
+                    by_name[name].next = value
+        yield Timer(1)  # let the final commits and comb settle land
+        for tap in spec.taps:
+            taps[tap.name] = _capture(tap._value)
+        done.set(sim)
+
+    sim.fork(driver(), "lane_driver", owner=module)
+    sim.run_until_event(done)
+    return {"taps": taps}
+
+
+# ----------------------------------------------------------------------
+# Lane code generation (cached by content)
+# ----------------------------------------------------------------------
+def _emit_transfers(transfers: Sequence[Tuple[Signal, CombExpr]],
+                    inputs: Sequence[Signal], lanes: bool):
+    """Emit the register-step function.
+
+    Unlike a comb region this is *not* levelized: every transfer reads
+    pre-edge values, so targets are never folded into the read names.
+    """
+    names = {sig: f"i{k}" for k, sig in enumerate(inputs)}
+    ctx = EmitContext(names, lanes=lanes)
+    lines = [
+        f"    t{j} = {expr.emit(ctx)}"
+        for j, (_target, expr) in enumerate(transfers)
+    ]
+    args = ", ".join(f"i{k}" for k in range(len(inputs)))
+    rets = ", ".join(f"t{j}" for j in range(len(transfers)))
+    body = "\n".join(lines) if lines else "    pass"
+    src = f"def _step({args}):\n{body}\n    return ({rets},)\n"
+    return src, ctx.consts
+
+
+def _find_region(module: Module):
+    """The design's single comb region (or None).
+
+    The vector engine batches exactly one levelized region; designs with
+    several regions would need inter-region scheduling, which is the
+    event kernel's job — they peel.
+    """
+    regions = [
+        mod._comb_region
+        for mod in module.iter_tree()
+        if mod._comb_region is not None
+    ]
+    if len(regions) > 1:
+        raise LaneDivergence(
+            f"{len(regions)} comb regions need inter-region scheduling"
+        )
+    return regions[0] if regions else None
+
+
+def _reg_read_signals(spec: LaneSpec) -> List[Signal]:
+    """Deterministic read list of the register step (name-sorted)."""
+    seen: Dict[Signal, None] = {}
+    for _target, expr in spec.registers:
+        for sig in sorted(expr.signals(), key=lambda s: s.name):
+            seen.setdefault(sig, None)
+    return list(seen)
+
+
+def _portable_consts(consts: Dict[str, object]) -> Dict[str, int]:
+    """Strip the NumPy helper bindings; keep constants as plain ints."""
+    out = {}
+    for name, value in consts.items():
+        if name in ("NPU64", "NPW", "NPBC"):
+            continue
+        out[name] = int(value)
+    return out
+
+
+def _exec_lane_source(src: str, consts: Dict[str, int], fname: str):
+    import numpy as np
+
+    ns: Dict[str, object] = {
+        "NPU64": np.uint64,
+        "NPW": np.where,
+        "NPBC": np.bitwise_count,
+    }
+    ns.update({name: np.uint64(value) for name, value in consts.items()})
+    exec(compile(src, f"<{fname}>", "exec"), ns)  # noqa: S102
+    return ns
+
+
+def _compiled_lane_code(program: LaneProgram, module: Module, spec: LaneSpec):
+    """Build (or fetch from the artifact cache) the block's lane code.
+
+    The cached artifact is pure data — the emitted sources plus their
+    integer constants — keyed by the scalar emission of the same
+    design, so equal keys imply equal code.  Raises
+    :class:`~repro.kernel.codegen.expr.LaneWidthError` for designs that
+    do not fit the packed representation (a plan-time divergence).
+    """
+    from ..exec.cache import ARTIFACT_CACHE
+    from .codegen.emitter import _emit_region_source
+
+    region = _find_region(module)
+    reg_reads = _reg_read_signals(spec)
+    for sig in list(spec.inputs) + [t for t, _ in spec.registers] + reg_reads:
+        if sig.width > 64:
+            raise LaneWidthError(sig.width)
+
+    scalar_reg_src, _ = _emit_transfers(spec.registers, reg_reads, lanes=False)
+    key = {
+        "program": program.name,
+        "comb": region.source if region is not None else "",
+        "regs": scalar_reg_src,
+        "widths": tuple(
+            (sig.name, sig.width)
+            for sig in (list(spec.inputs) + [t for t, _ in spec.registers])
+        ),
+    }
+
+    def build():
+        if region is not None:
+            comb_src, comb_consts = _emit_region_source(
+                region.ordered, region.inputs, lanes=True
+            )
+        else:
+            comb_src, comb_consts = "", {}
+        reg_src, reg_consts = _emit_transfers(
+            spec.registers, reg_reads, lanes=True
+        )
+        return {
+            "comb_src": comb_src,
+            "comb_consts": _portable_consts(comb_consts),
+            "reg_src": reg_src,
+            "reg_consts": _portable_consts(reg_consts),
+        }
+
+    code = ARTIFACT_CACHE.get(LANE_CODE_KIND, key, build)
+    comb_fn = None
+    if code["comb_src"]:
+        comb_fn = _exec_lane_source(
+            code["comb_src"], code["comb_consts"], f"lane-comb:{program.name}"
+        )["_comb"]
+    reg_fn = _exec_lane_source(
+        code["reg_src"], code["reg_consts"], f"lane-step:{program.name}"
+    )["_step"]
+    return comb_fn, reg_fn, reg_reads
+
+
+# ----------------------------------------------------------------------
+# The batch backend (vector path)
+# ----------------------------------------------------------------------
+class BatchBackend(ExecutionBackend):
+    """Lane-batched execution behind the ``ExecutionBackend`` seam.
+
+    With a lane block attached (:meth:`attach_block`), :meth:`run`
+    advances every lane per step over packed ``(N,)`` arrays; lanes
+    that diverge mid-run are peeled off and recorded for the caller to
+    re-run scalar.  Without a block — or for :meth:`run_until_event`,
+    which only full event-driven designs use — everything peels: the
+    backend delegates to the interpreter, the universal scalar
+    fallback.
+    """
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self._program: Optional[LaneProgram] = None
+        self._spec: Optional[LaneSpec] = None
+        self._clock: Optional[Clock] = None
+        self._lane_params: List[dict] = []
+        #: original lane index -> vector result (filled by :meth:`run`)
+        self.block_results: Dict[int, dict] = {}
+        #: run-time peels: (lane index, reason)
+        self.runtime_peels: List[Tuple[int, str]] = []
+
+    def invalidate(self) -> None:
+        self._program = None
+
+    def attach_block(self, program: LaneProgram, clock: Clock,
+                     spec: LaneSpec, lane_params: Sequence[dict]) -> None:
+        self._program = program
+        self._spec = spec
+        self._clock = clock
+        self._lane_params = list(lane_params)
+        self.block_results = {}
+        self.runtime_peels = []
+
+    def run_until_event(self, event, timeout: Optional[int]) -> bool:
+        # event-driven demand: peel the whole design to the interpreter
+        return self._sim._run_until_event_body(event, timeout)
+
+    def run(self, until: Optional[int]) -> int:
+        sim = self._sim
+        program = self._program
+        if program is None:
+            return sim._run_body(until)
+
+        import numpy as np
+
+        spec = self._spec
+        module = sim._modules[-1]
+        comb_fn, reg_fn, reg_reads = _compiled_lane_code(program, module, spec)
+        region = _find_region(module)
+
+        # ---- lane state: Signal -> (N,) uint64 array -----------------
+        active: List[int] = list(range(len(self._lane_params)))
+        params = list(self._lane_params)
+        state_sigs: Dict[Signal, None] = {}
+        for sig in spec.inputs:
+            state_sigs.setdefault(sig, None)
+        for target, _ in spec.registers:
+            state_sigs.setdefault(target, None)
+        for sig in reg_reads:
+            state_sigs.setdefault(sig, None)
+        if region is not None:
+            for sig in region.inputs:
+                state_sigs.setdefault(sig, None)
+        comb_targets = list(region.targets) if region is not None else []
+        for sig in spec.taps:
+            if sig not in state_sigs and sig not in comb_targets:
+                state_sigs.setdefault(sig, None)
+
+        arrays: Dict[Signal, np.ndarray] = {}
+        n = len(active)
+        for sig in state_sigs:
+            init = sig._value
+            if init.xmask | init.zmask:
+                raise LaneDivergence(
+                    f"signal {sig.name!r} has X/Z initial value"
+                )
+            arrays[sig] = np.full(n, init.value, dtype=np.uint64)
+        comb_arrays: Dict[Signal, np.ndarray] = {}
+
+        def peel(pos: int, reason: str) -> None:
+            lane = active.pop(pos)
+            del params[pos]
+            for sig in list(arrays):
+                arrays[sig] = np.delete(arrays[sig], pos)
+            for sig in list(comb_arrays):
+                comb_arrays[sig] = np.delete(comb_arrays[sig], pos)
+            self.runtime_peels.append((lane, reason))
+
+        stim_cycles = program.stimulus_cycles
+        masks = {sig: _mask(sig.width) for sig in state_sigs}
+        by_sig_name = {sig.name: sig for sig in state_sigs}
+
+        def apply_stimulus(cycle: int) -> None:
+            """Per-lane stimulus with the run-time divergence detector."""
+            if stim_cycles is not None and cycle >= stim_cycles:
+                # outside the stimulus window only timing divergences
+                # can still appear
+                pos = 0
+                while pos < len(active):
+                    if params[pos].get("diverge_at_cycle") == cycle:
+                        peel(pos, "timing-divergence")
+                    else:
+                        pos += 1
+                return
+            pos = 0
+            staged: List[Tuple[int, Dict[str, int]]] = []
+            while pos < len(active):
+                param = params[pos]
+                if param.get("diverge_at_cycle") == cycle:
+                    peel(pos, "timing-divergence")
+                    continue
+                st = program.stimulus(param, cycle)
+                if st:
+                    defined: Dict[str, int] = {}
+                    diverged = False
+                    for name, value in st.items():
+                        if isinstance(value, LogicVector):
+                            if value.xmask | value.zmask:
+                                peel(pos, "x-stimulus")
+                                diverged = True
+                                break
+                            value = value.value
+                        defined[name] = int(value)
+                    if diverged:
+                        continue
+                    staged.append((pos, defined))
+                pos += 1
+            if staged:
+                for pos, values in staged:
+                    for name, value in values.items():
+                        sig = by_sig_name[name]
+                        arrays[sig][pos] = value & masks[sig]
+
+        def settle_comb() -> None:
+            if region is None:
+                return
+            outs = comb_fn(
+                *[
+                    comb_arrays.get(sig, arrays.get(sig))
+                    for sig in region.inputs
+                ]
+            )
+            for sig, out in zip(region.targets, outs):
+                comb_arrays[sig] = out
+
+        def value_of(sig: Signal) -> np.ndarray:
+            arr = comb_arrays.get(sig)
+            return arr if arr is not None else arrays[sig]
+
+        # ---- the vector loop ----------------------------------------
+        reg_targets = [target for target, _ in spec.registers]
+        with np.errstate(over="ignore"):
+            apply_stimulus(0)
+            for cycle in range(program.n_cycles):
+                if not active:
+                    break
+                settle_comb()
+                if reg_targets:
+                    outs = reg_fn(*[value_of(sig) for sig in reg_reads])
+                    for target, out in zip(reg_targets, outs):
+                        arrays[target] = np.asarray(out, dtype=np.uint64)
+                apply_stimulus(cycle + 1)
+            if active:
+                settle_comb()
+
+        for pos, lane in enumerate(active):
+            taps = {
+                tap.name: int(value_of(tap)[pos]) for tap in spec.taps
+            }
+            self.block_results[lane] = {"taps": taps}
+
+        if self._clock is not None:
+            sim.time += program.n_cycles * self._clock.period
+        return sim.time
+
+
+# ----------------------------------------------------------------------
+# Block execution (vector + peel merge)
+# ----------------------------------------------------------------------
+def _plan_peels(lane_params: Sequence[dict]) -> List[Tuple[int, str]]:
+    """Plan-time divergence detector over the lane parameter list."""
+    peels = []
+    for lane, param in enumerate(lane_params):
+        if param.get("vcd"):
+            peels.append((lane, "vcd-demand"))
+        elif param.get("monitor"):
+            peels.append((lane, "monitor-demand"))
+    return peels
+
+
+def run_lane_block(program: LaneProgram, lane_params: Sequence[dict],
+                   scalar_backend: str = "interp"):
+    """Execute one lane block; return ``(results, stats)``.
+
+    ``results[i]`` is lane i's result dict, identical whether the lane
+    completed on the vector path or was peeled to the scalar one —
+    provenance lives only in the returned :class:`LaneBlockStats`.
+    """
+    from .simulator import Simulator
+
+    lane_params = [dict(p) for p in lane_params]
+    n = len(lane_params)
+    stats = LaneBlockStats(lanes=n, cycles=program.n_cycles)
+    results: List[Optional[dict]] = [None] * n
+
+    peels = _plan_peels(lane_params)
+    peeled = {lane for lane, _ in peels}
+    vector_lanes = [i for i in range(n) if i not in peeled]
+
+    backend_obj = None
+    if vector_lanes:
+        try:
+            module, clock, spec = program.build()
+            sim = Simulator(backend="lanes")
+            sim.add_module(module)
+            foreign = [
+                proc.name
+                for mod in module.iter_tree()
+                for proc in mod.processes
+                if not proc.name.endswith(".comb")
+            ]
+            if foreign:
+                raise LaneDivergence(
+                    f"behavioural process(es) {', '.join(sorted(foreign))} "
+                    f"need the event-driven kernel"
+                )
+            backend_obj = sim._backend
+            backend_obj.attach_block(
+                program, clock, spec, [lane_params[i] for i in vector_lanes]
+            )
+            sim.run()
+        except (LaneDivergence, LaneWidthError) as exc:
+            # the whole design is unvectorizable: peel every lane
+            for lane in vector_lanes:
+                peels.append((lane, str(exc)))
+            vector_lanes = []
+            backend_obj = None
+
+    if backend_obj is not None:
+        for pos, result in backend_obj.block_results.items():
+            results[vector_lanes[pos]] = result
+            stats.vectorized += 1
+        for pos, reason in backend_obj.runtime_peels:
+            peels.append((vector_lanes[pos], reason))
+
+    for lane, reason in sorted(peels):
+        results[lane] = run_scalar_lane(
+            program, lane_params[lane], backend=scalar_backend
+        )
+    stats.peeled = sorted(peels)
+    return results, stats

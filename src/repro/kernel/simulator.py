@@ -112,10 +112,10 @@ class Simulator:
     MAX_DELTAS_PER_STEP = 10_000
 
     def __init__(self, profile: bool = False, backend: str = "interp"):
-        if backend not in ("interp", "codegen"):
+        if backend not in ("interp", "codegen", "lanes"):
             raise ValueError(
                 f"unknown execution backend {backend!r} "
-                f"(expected 'interp' or 'codegen')"
+                f"(expected 'interp', 'codegen' or 'lanes')"
             )
         self.time = 0  # picoseconds
         self.profile = profile
@@ -128,6 +128,10 @@ class Simulator:
             from .codegen.backend import CodegenBackend
 
             self._backend = CodegenBackend(self)
+        elif backend == "lanes":
+            from .lanes import BatchBackend
+
+            self._backend = BatchBackend(self)
         self.stats = SimStats()
         self._seq = 0
         self._timed: List[Tuple[int, int, Trigger]] = []

@@ -163,6 +163,64 @@ def test_cli_bench_unknown_kernel(capsys):
     assert "unknown kernel" in capsys.readouterr().err
 
 
+def test_measure_lanes_reports_parity_checked_speedup():
+    result = benchkit.measure_lanes(lanes=3, scenarios=6, repeats=1)
+    assert result["scenarios"] == 6 and result["lanes"] == 3
+    assert result["parity_ok"] is True
+    assert result["scalar"]["per_sec"] > 0
+    assert result["laned_warm"]["per_sec"] > 0
+    assert result["speedup_warm"] > 0
+    stats = result["cache_stats"]["lane_blocks"]
+    assert stats["lanes"] == 6 and stats["vectorized"] == 6
+
+
+def test_lanes_baseline_round_trip(tmp_path):
+    result = {
+        "scenarios": 6, "cycles": 512, "lanes": 3, "unit": "scenarios",
+        "scalar": {"best_s": 0.1, "per_sec": 60.0},
+        "laned_cold": {"best_s": 0.01, "per_sec": 600.0},
+        "laned_warm": {"best_s": 0.01, "per_sec": 600.0},
+        "speedup_cold": 10.0, "speedup_warm": 10.0,
+        "parity_ok": True, "cache_stats": {},
+    }
+    path = tmp_path / "BENCH_lanes.json"
+    benchkit.write_lanes_baseline(result, path)
+    assert benchkit.load_lanes_baseline(path)["speedup_warm"] == 10.0
+
+
+def test_compare_lanes_gates_absolute_floor_and_baseline():
+    current = {
+        "scalar": {"per_sec": 50.0},
+        "laned_warm": {"per_sec": 100.0},
+        "speedup_warm": 2.0,
+    }
+    baseline = {
+        "scalar": {"per_sec": 50.0},
+        "laned_warm": {"per_sec": 200.0},
+    }
+    rows = benchkit.compare_lanes(current, baseline, tolerance=0.20)
+    by_name = {r["name"]: r for r in rows}
+    assert not by_name["lane_speedup"]["ok"]  # 2.0x < the 3x floor
+    assert by_name["lanes:scalar"]["ok"]
+    assert not by_name["lanes:laned_warm"]["ok"]  # lost half vs baseline
+    # no baseline: only the absolute floor row
+    assert [r["name"] for r in benchkit.compare_lanes(current)] == [
+        "lane_speedup"
+    ]
+
+
+def test_cli_lanes_bench_update_then_check(tmp_path, capsys):
+    baseline = tmp_path / "BENCH_lanes.json"
+    assert main(["bench", "--lanes-bench", "--lanes", "3", "--repeats", "1",
+                 "--update", "--baseline", str(baseline)]) == 0
+    assert baseline.exists()
+    assert "lane baseline written" in capsys.readouterr().out
+    assert main(["bench", "--lanes-bench", "--lanes", "3", "--repeats", "1",
+                 "--check", "--baseline", str(baseline),
+                 "--tolerance", "0.95"]) == 0
+    assert "lane_speedup" in capsys.readouterr().out
+
+
 def test_cli_bench_codegen_backend(tmp_path, monkeypatch, capsys):
     """--backend codegen measures, records, and checks its own baseline."""
     _patch_tiny_kernels(monkeypatch)

@@ -1,0 +1,105 @@
+"""The lane determinism contract: report bytes never depend on ``--lanes``.
+
+Mirror of ``test_parallel_reports.py`` for the lane-block batcher:
+campaign, soak and fuzz reports are serialized with ``canonical_json``
+and compared byte-for-byte between scalar execution (``lanes=1``) and
+lane-batched execution at awkward widths (4 and a non-divisor 7).
+System runs are plan-time scalar peels, so equality holds by
+construction — these tests pin the construction down.  The lane-demo
+sweep additionally forces *mid-run* divergence peels through the real
+vector engine.
+"""
+
+import pytest
+
+from repro.analysis.benchkit import _lane_demo_run
+from repro.analysis.reporting import canonical_json
+from repro.exec.fleet import RunSpec
+from repro.exec.lanes import run_many_laned
+from repro.system.autovision import SystemConfig
+from repro.verif.campaign import run_bug_campaign
+from repro.verif.fuzz import run_fuzz_campaign
+from repro.verif.transients import run_soak_campaign
+
+pytestmark = pytest.mark.slow
+
+_CFG = SystemConfig(width=48, height=32, simb_payload_words=128)
+_BUGS = ["dpr.1", "dpr.4"]
+
+
+@pytest.fixture(scope="module")
+def campaign_scalar():
+    return run_bug_campaign(_BUGS, base_config=_CFG, n_frames=1, lanes=1)
+
+
+@pytest.mark.parametrize("lanes", [4, 7])
+def test_campaign_bytes_identical_across_lanes(campaign_scalar, lanes):
+    laned = run_bug_campaign(
+        _BUGS, base_config=_CFG, n_frames=1, lanes=lanes
+    )
+    assert canonical_json(campaign_scalar.to_json_dict()) == canonical_json(
+        laned.to_json_dict()
+    )
+    # the runs really went through lane blocks, not the passthrough
+    assert laned.cache_stats["lane_blocks"]["peeled"] == 6
+
+
+def test_campaign_lanes_compose_with_jobs(campaign_scalar):
+    laned = run_bug_campaign(
+        _BUGS, base_config=_CFG, n_frames=1, jobs=2, lanes=4
+    )
+    assert canonical_json(campaign_scalar.to_json_dict()) == canonical_json(
+        laned.to_json_dict()
+    )
+
+
+def test_soak_bytes_identical_across_lanes():
+    kwargs = dict(
+        methods=("resim",),
+        frames=1,
+        seed=11,
+        transients=["payload_bitflip", "x_burst"],
+        base_config=_CFG,
+    )
+    scalar = run_soak_campaign(lanes=1, **kwargs)
+    laned = run_soak_campaign(lanes=4, **kwargs)
+    assert canonical_json(scalar.to_json_dict()) == canonical_json(
+        laned.to_json_dict()
+    )
+
+
+def test_fuzz_bytes_identical_across_lanes():
+    kwargs = dict(budget=4, seed=99, wave_size=4)
+    scalar = run_fuzz_campaign(lanes=1, **kwargs)
+    for lanes in (4, 7):
+        laned = run_fuzz_campaign(lanes=lanes, **kwargs)
+        assert canonical_json(scalar.to_json_dict()) == canonical_json(
+            laned.to_json_dict()
+        )
+
+
+def _demo_specs():
+    """Lane-demo scenarios with mid-run and plan-time divergence mixed in."""
+    specs = []
+    for i in range(9):
+        kwargs = {"seed": 400 + 31 * i}
+        if i in (2, 5):
+            kwargs["diverge_at_cycle"] = 40 + i  # mid-run peel
+        if i == 7:
+            kwargs["vcd"] = "lane7.vcd"  # plan-time peel
+        specs.append(RunSpec(f"demo:{i}", _lane_demo_run, kwargs))
+    return specs
+
+
+@pytest.mark.parametrize("lanes", [4, 7])
+def test_vectorized_sweep_values_identical_across_lanes(lanes):
+    scalar = run_many_laned(_demo_specs(), lanes=1)
+    laned = run_many_laned(_demo_specs(), lanes=lanes)
+    assert laned.ok
+    assert [o.value for o in laned.outcomes] == [
+        o.value for o in scalar.outcomes
+    ]
+    stats = laned.cache["lane_blocks"]
+    assert stats["lanes"] == 9
+    assert stats["peeled"] == 3
+    assert stats["vectorized"] == 6

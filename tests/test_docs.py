@@ -39,6 +39,42 @@ def test_public_modules_have_docstrings():
     assert checker.check_docstrings() == []
 
 
+def test_documented_cli_flags_exist():
+    assert checker.check_cli_flags() == []
+
+
+def test_cli_options_cover_all_subcommands():
+    options = checker.cli_options()
+    for sub in ("run", "bench", "campaign", "soak", "fuzz", "trace"):
+        assert sub in options
+    assert "--lanes" in options["campaign"]
+    assert "--lanes" in options["soak"]
+    assert "--lanes" in options["fuzz"]
+    assert "--lanes-bench" in options["bench"]
+
+
+def test_extract_cli_refs_attribution():
+    refs = checker.extract_cli_refs(
+        "PYTHONPATH=src python -m repro fuzz --budget 4 --lanes=4 "
+        "&& python -m repro bench --check"
+    )
+    assert refs == [("fuzz", ["--budget", "--lanes"]), ("bench", ["--check"])]
+
+
+def test_stale_flag_would_be_caught():
+    options = checker.cli_options()
+    [(sub, flags)] = checker.extract_cli_refs("repro campaign --no-such-flag")
+    assert sub in options
+    assert flags == ["--no-such-flag"]
+    assert flags[0] not in options[sub]
+
+
+def test_prose_is_not_scanned_for_flags(tmp_path):
+    md = tmp_path / "x.md"
+    md.write_text("the repro campaign --bogus flag is prose, not code\n")
+    assert list(checker.iter_code_texts(md)) == []
+
+
 def test_cli_entrypoint_exit_status(capsys):
     assert checker.main() == 0
     assert "OK" in capsys.readouterr().out

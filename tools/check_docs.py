@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation hygiene checker.
 
-Two checks, both cheap enough for every CI run:
+Three checks, all cheap enough for every CI run:
 
 1. **Internal links resolve** — every relative markdown link
    (``[text](path)`` or ``[text](path#anchor)``) in the repo's
@@ -13,6 +13,14 @@ Two checks, both cheap enough for every CI run:
    ``src/repro`` (not starting with ``_``) must open with a module
    docstring.  The check reads source text, it never imports, so a
    module with heavy import-time side effects cannot break it.
+
+3. **Documented CLI flags exist** — every ``repro <sub> --flag``
+   mention inside a code context (fenced block or inline code span)
+   must name a real subcommand and a real option of that subcommand,
+   introspected from the live :func:`repro.cli.build_parser` tree.
+   A renamed or deleted flag therefore rots no further than one CI
+   run.  Only ``--long`` options are matched; flags on backslash
+   continuation lines (no ``repro <sub>`` prefix) are out of scope.
 
 Exit status 0 when clean; 1 with a per-problem report otherwise.
 Run directly (``python tools/check_docs.py``) or via the pytest
@@ -94,8 +102,87 @@ def check_docstrings() -> List[str]:
     return problems
 
 
+_CLI_CMD_RE = re.compile(r"\brepro\s+([a-z][\w-]*)")
+_CLI_FLAG_RE = re.compile(r"--[A-Za-z][\w-]*")
+_INLINE_CODE_RE = re.compile(r"`([^`]+)`")
+
+
+def iter_code_texts(md_file: Path) -> Iterable[Tuple[int, str]]:
+    """Yield (line_number, text) for code contexts in a markdown file.
+
+    Inside a code fence every line is a code text; outside, each
+    inline ``code`` span is one.  Prose never reaches the CLI check.
+    """
+    in_fence = False
+    for lineno, line in enumerate(md_file.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield lineno, line
+        else:
+            for match in _INLINE_CODE_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def extract_cli_refs(text: str) -> List[Tuple[str, List[str]]]:
+    """``repro <sub> ... --flag`` references in one code text.
+
+    Returns ``[(subcommand, ["--flag", ...]), ...]``.  Flags are
+    attributed to the nearest preceding ``repro <sub>`` on the same
+    text, and an ``=value`` suffix is stripped.
+    """
+    refs = []
+    matches = list(_CLI_CMD_RE.finditer(text))
+    for i, match in enumerate(matches):
+        tail = text[match.end():]
+        if i + 1 < len(matches):
+            tail = text[match.end():matches[i + 1].start()]
+        flags = [t.split("=", 1)[0] for t in _CLI_FLAG_RE.findall(tail)]
+        refs.append((match.group(1), flags))
+    return refs
+
+
+def cli_options() -> dict:
+    """``{subcommand: {option strings}}`` from the live argparse tree."""
+    import argparse
+
+    src = str(REPO / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.cli import build_parser
+
+    options = {}
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, sub in action.choices.items():
+                options[name] = set(sub._option_string_actions)
+    return options
+
+
+def check_cli_flags() -> List[str]:
+    problems = []
+    options = cli_options()
+    for md in markdown_files():
+        rel = md.relative_to(REPO)
+        for lineno, text in iter_code_texts(md):
+            for sub, flags in extract_cli_refs(text):
+                if sub not in options:
+                    problems.append(
+                        f"{rel}:{lineno}: unknown subcommand `repro {sub}`"
+                    )
+                    continue
+                for flag in flags:
+                    if flag not in options[sub]:
+                        problems.append(
+                            f"{rel}:{lineno}: `repro {sub}` has no "
+                            f"option {flag}"
+                        )
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_docstrings()
+    problems = check_links() + check_docstrings() + check_cli_flags()
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
         for p in problems:
