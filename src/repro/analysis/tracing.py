@@ -65,7 +65,7 @@ TRACE_PID = 1
 
 #: categories with reserved track ids, in display order; unknown
 #: categories get the next free id deterministically at first use
-BUILTIN_CATEGORIES = ("kernel", "bus", "reconfig", "firmware", "warning")
+BUILTIN_CATEGORIES = ("kernel", "bus", "reconfig", "firmware", "warning", "codegen")
 
 
 class TraceEvent:

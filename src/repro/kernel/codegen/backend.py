@@ -30,12 +30,45 @@ from typing import Optional
 
 from ..events import FallingEdge, RisingEdge
 
-__all__ = ["ExecutionBackend", "InterpBackend", "CodegenBackend"]
+__all__ = [
+    "ExecutionBackend",
+    "InterpBackend",
+    "CodegenBackend",
+    "record_codegen_event",
+]
 
 #: driver return codes
 _BAIL = 0  # let the interpreter settle pending work / take one timestep
 _DONE = 1  # reached until/deadline, quiescence, finish() or the event
 _FALLBACK = 2  # VCD/tracer attached: whole run goes to the interpreter
+
+#: cap on the per-backend event log (counters are unbounded)
+_EVENT_LOG_LIMIT = 64
+
+
+def record_codegen_event(sim, kind: str, reason: str) -> None:
+    """Attribute a compiled-driver bail or a segment deopt to its cause.
+
+    ``kind`` is ``"bail"`` (driver returned control to the interpreter),
+    ``"deopt"`` (a trace-compiled segment was uninstalled) or
+    ``"refuse"`` (a process was considered and rejected for segment
+    compilation).  Counters accumulate per ``(kind, reason)`` on the
+    backend; the first few events are kept with timestamps for
+    attribution, and a ``codegen`` trace-category instant is emitted
+    when a tracer is attached (segment deopts can fire under the
+    interpreter loops, where a tracer may be live).
+    """
+    be = sim._backend
+    counts = getattr(be, "event_counts", None)
+    if counts is not None:
+        key = (kind, reason)
+        counts[key] = counts.get(key, 0) + 1
+        log = be.events
+        if len(log) < _EVENT_LOG_LIMIT:
+            log.append((sim.time, kind, reason))
+    tr = sim.tracer
+    if tr is not None:
+        tr.instant("codegen", f"{kind}: {reason}")
 
 
 def _unprime_edge(et) -> None:
@@ -125,6 +158,10 @@ class CodegenBackend(ExecutionBackend):
         self._driver = None
         #: generated driver source, kept for introspection and tests
         self.driver_source: Optional[str] = None
+        #: (kind, reason) -> count of driver bails / segment deopts
+        self.event_counts: dict = {}
+        #: first few (time, kind, reason) events, for attribution
+        self.events: list = []
 
     def invalidate(self) -> None:
         self._driver = None
@@ -147,12 +184,15 @@ class CodegenBackend(ExecutionBackend):
         sim.stats.timesteps += 1
         while True:
             status = drv(sim, until, None, 0)
+            if sim._errors:
+                # check before honouring _DONE: a process error followed
+                # by quiescence must still raise, like the interpreter
+                raise sim._errors.pop(0)
             if status == _DONE:
                 break
             if status == _FALLBACK:
+                record_codegen_event(sim, "bail", "vcd-or-tracer")
                 return sim._run_fast(until)
-            if sim._errors:
-                raise sim._errors.pop(0)
             if sim._ready or sim._updates or sim._delta_triggers:
                 sim._step_deltas()
                 continue
@@ -173,14 +213,16 @@ class CodegenBackend(ExecutionBackend):
             if event.fired_count > start:
                 return True
             status = drv(sim, deadline, event, start)
+            if sim._errors:
+                # same ordering as run(): errors outrank quiescence
+                raise sim._errors.pop(0)
             if status == _DONE:
                 return event.fired_count > start
             if status == _FALLBACK:
+                record_codegen_event(sim, "bail", "vcd-or-tracer")
                 remaining = None if deadline is None else max(0, deadline - sim.time)
                 fired = sim._run_until_event_body(event, remaining)
                 return fired or event.fired_count > start
-            if sim._errors:
-                raise sim._errors.pop(0)
             if sim._ready or sim._updates or sim._delta_triggers:
                 sim._step_deltas()
                 continue

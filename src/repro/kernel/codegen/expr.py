@@ -24,9 +24,18 @@ evaluation advances N simulation lanes at once (see
 vector forms (``1 if a < b else 0`` becomes ``(a < b).astype(uint64)``,
 the mux ternary becomes ``np.where``, ``bit_count`` becomes
 ``np.bitwise_count``); masks and literals are bound as ``np.uint64``
-constants so intermediate dtypes never leave ``uint64``.  Lane emission
-is defined for widths up to 64 bits; wider signals are a plan-time
-divergence and stay on the scalar path.
+constants so intermediate dtypes never leave ``uint64``.
+
+Designs with any signal wider than 64 bits use the **wide** variant of
+the lane dialect (``EmitContext(..., lanes=True, wide=True)``): lane
+arrays are ``object``-dtype vectors of Python ints, masks and literals
+bind as plain ints, and the few NumPy helpers that assume a fixed-width
+dtype are swapped for ``frompyfunc`` equivalents (``np.bitwise_count``
+becomes a per-element ``int.bit_count``, comparisons coerce through
+``int`` instead of ``.astype(uint64)``).  Python ints are arbitrary
+precision, so the same emitted shape is exact at any width — slower
+than packed ``uint64``, but still one vectorized evaluation per region
+instead of a peel to the scalar event kernel.
 """
 
 from __future__ import annotations
@@ -56,38 +65,57 @@ class EmitContext:
     helpers the vector translations need (``np.where``,
     ``np.bitwise_count``, the ``uint64`` dtype) are pre-bound in the
     compiled namespace.
+
+    ``wide=True`` (lane mode only) selects the packed-word variant for
+    designs with >64-bit signals: lane arrays carry Python ints in
+    ``object`` dtype, so masks and literals bind as plain ints and the
+    dtype-bound helpers are replaced by ``frompyfunc`` equivalents
+    (``NPOBJ`` coerces per-element to ``int`` in ``object`` dtype,
+    ``NPPC`` is a per-element popcount).  Mixing ``uint64`` and
+    ``object`` operands would silently overflow the fixed-width side,
+    so wideness is a whole-design property, never per-signal.
     """
 
-    def __init__(self, names: Dict[Signal, str], lanes: bool = False):
+    def __init__(self, names: Dict[Signal, str], lanes: bool = False,
+                 wide: bool = False):
         self.names = names  # Signal -> local variable name
         self.consts: Dict[str, object] = {}
         self.lanes = lanes
+        self.wide = wide and lanes
         self._literals: Dict[int, str] = {}
         if lanes:
             import numpy as _np  # deferred: the scalar kernel stays numpy-free
 
             self._np = _np
-            self.consts["NPU64"] = _np.uint64
             self.consts["NPW"] = _np.where
-            self.consts["NPBC"] = _np.bitwise_count
+            if self.wide:
+                self.consts["NPOBJ"] = _np.frompyfunc(int, 1, 1)
+                self.consts["NPPC"] = _np.frompyfunc(
+                    lambda v: int(v).bit_count(), 1, 1
+                )
+            else:
+                self.consts["NPU64"] = _np.uint64
+                self.consts["NPBC"] = _np.bitwise_count
 
     def mask(self, width: int) -> str:
-        if self.lanes and width > 64:
+        if self.lanes and width > 64 and not self.wide:
             raise LaneWidthError(width)
         name = f"M{width}"
         m = _mask(width)
-        self.consts[name] = self._np.uint64(m) if self.lanes else m
+        self.consts[name] = (
+            m if (self.wide or not self.lanes) else self._np.uint64(m)
+        )
         return name
 
     def literal(self, value: int) -> str:
-        """A literal operand: inline int scalar, bound uint64 in lane mode."""
+        """A literal operand: inline int scalar, bound array-safe in lanes."""
         if not self.lanes:
             return repr(value)
         name = self._literals.get(value)
         if name is None:
             name = f"K{len(self._literals)}"
             self._literals[value] = name
-            self.consts[name] = self._np.uint64(value)
+            self.consts[name] = value if self.wide else self._np.uint64(value)
         return name
 
 
@@ -387,7 +415,12 @@ class _Compare(CombExpr):
 
     def emit(self, ctx):
         if ctx.lanes:
-            # elementwise bool -> 0/1 per lane, kept in uint64
+            # elementwise bool -> 0/1 per lane; the wide dialect stays
+            # in object dtype (a uint64 cast would poison later ops)
+            if ctx.wide:
+                return (
+                    f"NPOBJ({self.a.emit(ctx)} {self.op} {self.b.emit(ctx)})"
+                )
             return (
                 f"(({self.a.emit(ctx)} {self.op} {self.b.emit(ctx)})"
                 f".astype(NPU64))"
@@ -417,6 +450,14 @@ class _Reduce(CombExpr):
     def emit(self, ctx):
         a = self.a.emit(ctx)
         if ctx.lanes:
+            if ctx.wide:
+                if self.kind == "or":
+                    return f"NPOBJ({a} != {ctx.literal(0)})"
+                if self.kind == "and":
+                    return f"NPOBJ({a} == {ctx.mask(self.a.width)})"
+                # NPPC is a frompyfunc popcount: arbitrary-precision,
+                # already object dtype, so the parity AND stays wide
+                return f"(NPPC({a}) & {ctx.literal(1)})"
             if self.kind == "or":
                 return f"(({a} != {ctx.literal(0)}).astype(NPU64))"
             if self.kind == "and":

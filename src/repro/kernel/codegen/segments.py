@@ -1,0 +1,1046 @@
+"""Trace-compiled process segments — the codegen backend's process JIT.
+
+A process body is a Python generator; between two ``yield`` points it
+executes a straight line of signal reads/writes, integer arithmetic and
+branches.  When the compiled driver observes a process getting hot it
+*traces* that inter-yield segment concolically — symbolic expressions
+alongside the concrete values the suspended frame holds right now —
+and compiles it to a small packed-int Python function.  The function is
+installed as the process's resume arm (``proc._send``), so the next
+resume skips the generator machinery entirely: read shadow locals,
+check guards, schedule signal updates through ``sim._updates`` (the
+same non-blocking commit path the interpreter uses — monitors, VCD
+recording and X/Z propagation all live at the commit site and are
+therefore preserved bit-for-bit), and return a fresh trigger object.
+
+Soundness model
+---------------
+
+* The real generator never runs while a segment is installed, so its
+  frame is frozen.  Locals the traced code *stores* live in a shadow
+  list; everything else in the frame is constant and is embedded as a
+  bound namespace constant, re-verified whenever the real generator has
+  to run.
+* Mutable state shared with the rest of the design (closure cells,
+  object attributes, list elements, signal values) is always *read at
+  runtime* and guarded: 2-state guards on signal reads, type guards on
+  ints entering arithmetic, identity guards on objects used as bases.
+* Emitted code is two-phase: a pure phase (loads, guards, arithmetic)
+  that can be abandoned at any point, then an effect phase (signal
+  update scheduling, cell/attribute/subscript stores, shadow
+  write-back) built only from non-raising primitives.  A guard failure
+  or an unexpected exception in the pure phase *side-exits*: shadow
+  locals are written back into the suspended frame (the pdb trick —
+  ``PyFrame_LocalsToFast`` via ctypes, validated by an import-time
+  self-check) and the resume is replayed through the real generator,
+  which produces the canonical behaviour for X/Z values, foreign
+  calls, slow-path commits and exceptions.
+* Branches are guarded by the direction observed at trace time.  A
+  branch-guard miss re-traces from the live frame and grows a *trace
+  tree* (nested ifs over the recorded paths) — state machines with a
+  handful of arms compile fully after a few misses.  Hard-guard misses
+  beyond a budget, a changed yield site, ``kill()``/``close()`` and
+  generator exit all *deoptimize*: the shadow is synced back and
+  ``proc._send`` reverts to ``gen.send``.
+
+Anything the tracer cannot prove it refuses (``for`` loops hold their
+iterator on the generator's value stack, which Python does not expose;
+method calls, ``yield from``, non-int locals stores, unknown opcodes) —
+the process simply stays interpreted.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import dis
+import gc
+import sys
+import types
+from typing import List, Optional, Tuple
+
+from ..events import Edge, FallingEdge, NullTrigger, RisingEdge, Timer
+from ..signal import Signal
+from .backend import record_codegen_event
+
+__all__ = ["consider", "HOT_MASK", "HOT_PHASE", "DISABLED_REASON"]
+
+# The driver considers a process for segment compilation every
+# HOT_MASK+1 resumes (when resume_count & HOT_MASK == HOT_PHASE).
+HOT_MASK = 127
+HOT_PHASE = 63
+
+#: tracing/compilation limits
+MAX_OPS = 600  # symbolic steps per trace (unrolled loop backstop)
+MAX_PATHS = 8  # trace-tree arms per segment
+MAX_RETRACES = 16  # lifetime re-trace attempts per segment
+MAX_MISSES = 64  # lifetime hard-guard side exits before deopt
+
+_LocalsToFast = None
+
+
+def _platform_check() -> Optional[str]:
+    """Verify the pdb frame write-back trick works on this interpreter.
+
+    Returns None when segments are usable, else a reason string.  The
+    whole feature degrades to "never installed" when this fails — the
+    simulator stays on the plain generator path.
+    """
+    global _LocalsToFast
+    if sys.implementation.name != "cpython":
+        return "not-cpython"
+    try:
+        fn = ctypes.pythonapi.PyFrame_LocalsToFast
+    except (AttributeError, ValueError):
+        return "no-localstofast"
+
+    def _probe():
+        x = 1
+        yield x
+        yield x + 1
+
+    gen = _probe()
+    try:
+        next(gen)
+        frame = gen.gi_frame
+        loc = frame.f_locals
+        loc["x"] = 41
+        fn(ctypes.py_object(frame), ctypes.c_int(0))
+        if next(gen) != 42:
+            return "localstofast-ineffective"
+    except Exception:  # noqa: BLE001 - any failure disables the feature
+        return "localstofast-raised"
+    finally:
+        gen.close()
+    _LocalsToFast = fn
+    return None
+
+
+DISABLED_REASON = _platform_check()
+
+_GeneratorType = types.GeneratorType
+_CellType = types.CellType
+
+#: trigger constructors a segment may re-create at its yield point
+_TRIGGER_CTORS = (Timer, RisingEdge, FallingEdge, Edge, NullTrigger)
+
+#: BINARY_OP argreprs (inplace forms included) we emit verbatim for ints
+_INT_BINOPS = {"+", "-", "*", "//", "%", "&", "|", "^", "<<", ">>"}
+_INT_COMPARES = {"<", "<=", ">", ">=", "==", "!="}
+
+
+class _Refuse(Exception):
+    """Tracing refused; the process stays on the plain generator path."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _Unknown:
+    """Concrete value not known at trace time (the sent value)."""
+
+
+_UNKNOWN = _Unknown()
+
+
+class _Null:
+    """The NULL marker PUSH_NULL/LOAD_GLOBAL place below a callable."""
+
+
+_NULL = _Null()
+
+
+class _V:
+    """A symbolic stack value: an expression plus its trace-time value.
+
+    ``const`` marks trace-time constants (folded, no guard); ``intok``
+    marks values already proven int/bool at runtime (shadow slots,
+    arithmetic results, values that have passed a type guard).
+    """
+
+    __slots__ = ("expr", "val", "const", "intok")
+
+    def __init__(self, expr: str, val, const: bool = False, intok: bool = False):
+        self.expr = expr
+        self.val = val
+        self.const = const
+        self.intok = intok
+
+
+_INSTR_CACHE: dict = {}
+
+
+def _instructions(code):
+    cached = _INSTR_CACHE.get(code)
+    if cached is None:
+        instrs = list(dis.get_instructions(code))
+        off2idx = {ins.offset: k for k, ins in enumerate(instrs)}
+        cached = (instrs, off2idx)
+        _INSTR_CACHE[code] = cached
+    return cached
+
+
+def _cell_map(gen, code, f_locals) -> dict:
+    """Map cell/free variable names to their live cell objects.
+
+    The frame does not expose its cells, but the generator's GC
+    referents include them; each candidate is verified by identity
+    against the frame's value for that name, and any ambiguity refuses.
+    """
+    names = code.co_cellvars + code.co_freevars
+    if not names:
+        return {}
+    cells = [c for c in gc.get_referents(gen) if type(c) is _CellType]
+    out = {}
+    used = set()
+    for name in names:
+        if name not in f_locals:
+            raise _Refuse("cell-unbound")
+        val = f_locals[name]
+        match = None
+        for c in cells:
+            if id(c) in used:
+                continue
+            try:
+                if c.cell_contents is val:
+                    if match is not None:
+                        raise _Refuse("cell-ambiguous")
+                    match = c
+            except ValueError:
+                continue
+        if match is None:
+            raise _Refuse("cell-unmatched")
+        used.add(id(match))
+        out[name] = match
+    return out
+
+
+def _data_descriptor(tp, attr):
+    for klass in tp.__mro__:
+        if attr in klass.__dict__:
+            return klass.__dict__[attr]
+    return None
+
+
+class _Tracer:
+    """One concolic walk from the yield site to the next yield."""
+
+    def __init__(self, state: "_SegmentState", sent_val=_UNKNOWN):
+        self.st = state
+        self.gen = state.gen
+        self.code = state.gen.gi_code
+        self.frame = state.gen.gi_frame
+        self.f_locals = self.frame.f_locals
+        self.cells = _cell_map(self.gen, self.code, self.f_locals)
+        self.ops: List[tuple] = []
+        self.nv = 0
+        # forwarding tables: reads after writes inside one segment
+        self.cell_fwd: dict = {}
+        self.attr_fwd: dict = {}
+        self.sub_fwd: dict = {}
+        self.shadow_sym: dict = {}  # slot idx -> current symbolic _V
+        self.shadow_stored: dict = {}  # slot idx -> _V actually stored
+        self.sent_val = sent_val
+
+    # -- emission helpers ------------------------------------------------
+    def line(self, text: str) -> None:
+        self.ops.append(("line", text))
+
+    def newv(self, expr: str, val, intok: bool = False) -> _V:
+        name = f"v{self.nv}"
+        self.nv += 1
+        self.line(f"{name} = {expr}")
+        return _V(name, val, intok=intok)
+
+    def guard(self, failcond: str, reason: str) -> None:
+        self.ops.append(("guard", failcond, reason))
+
+    def effect(self, text: str) -> None:
+        self.ops.append(("effect", text))
+
+    def const(self, obj) -> _V:
+        if type(obj) is int and -(2**31) < obj < 2**31:
+            return _V(repr(obj), obj, True)
+        if obj is None or obj is True or obj is False:
+            return _V(repr(obj), obj, True)
+        return _V(self.st.bind_const(obj), obj, True)
+
+    # -- value classification -------------------------------------------
+    def as_int(self, v: _V) -> _V:
+        """Ensure ``v`` is a plain int/bool at runtime (guard once)."""
+        if v.val is _UNKNOWN:
+            raise _Refuse("sent-arith")
+        if type(v.val) not in (int, bool):
+            raise _Refuse("non-int-arith")
+        if v.const or v.intok:
+            return v
+        self.guard(
+            f"type({v.expr}) is not int and type({v.expr}) is not bool",
+            "type",
+        )
+        v.intok = True
+        return v
+
+    def as_base(self, v: _V) -> _V:
+        """Pin a value used as an attribute/subscript/call base."""
+        if v.const:
+            return v
+        if v.val is _UNKNOWN:
+            raise _Refuse("sent-base")
+        pinned = self.const(v.val)
+        self.guard(f"{v.expr} is not {pinned.expr}", "identity")
+        return pinned
+
+    # -- the walk --------------------------------------------------------
+    def run(self) -> List[tuple]:
+        st = self.st
+        instrs, off2idx = _instructions(self.code)
+        i = off2idx.get(self.frame.f_lasti)
+        if i is None or instrs[i].opname != "YIELD_VALUE":
+            raise _Refuse("not-at-yield")
+        stack: List[_V] = [_V("et", self.sent_val)]
+        i += 1
+        steps = 0
+        while True:
+            steps += 1
+            if steps > MAX_OPS:
+                raise _Refuse("trace-too-long")
+            ins = instrs[i]
+            op = ins.opname
+            if op == "RESUME" or op == "NOP" or op == "PRECALL":
+                i += 1
+            elif op == "POP_TOP":
+                stack.pop()
+                i += 1
+            elif op == "PUSH_NULL":
+                stack.append(_V("", _NULL, True))
+                i += 1
+            elif op == "LOAD_CONST":
+                stack.append(self.const(ins.argval))
+                i += 1
+            elif op == "LOAD_FAST":
+                stack.append(self.load_fast(ins.argval))
+                i += 1
+            elif op == "STORE_FAST":
+                self.store_fast(ins.argval, stack.pop())
+                i += 1
+            elif op == "LOAD_DEREF":
+                stack.append(self.load_deref(ins.argval))
+                i += 1
+            elif op == "STORE_DEREF":
+                self.store_deref(ins.argval, stack.pop())
+                i += 1
+            elif op == "LOAD_GLOBAL":
+                if ins.arg & 1:
+                    stack.append(_V("", _NULL, True))
+                stack.append(self.load_global(ins.argval))
+                i += 1
+            elif op == "LOAD_ATTR":
+                stack.append(self.load_attr(stack.pop(), ins.argval))
+                i += 1
+            elif op == "STORE_ATTR":
+                base = stack.pop()
+                val = stack.pop()
+                self.store_attr(base, ins.argval, val)
+                i += 1
+            elif op == "BINARY_SUBSCR":
+                idx = stack.pop()
+                base = stack.pop()
+                stack.append(self.subscr(base, idx))
+                i += 1
+            elif op == "STORE_SUBSCR":
+                idx = stack.pop()
+                base = stack.pop()
+                val = stack.pop()
+                self.store_subscr(base, idx, val)
+                i += 1
+            elif op == "BINARY_OP":
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(self.binop(ins.argrepr.rstrip("="), a, b))
+                i += 1
+            elif op == "COMPARE_OP":
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(self.compare(ins.argval, a, b))
+                i += 1
+            elif op == "IS_OP":
+                b = stack.pop()
+                a = stack.pop()
+                neg = " not" if ins.arg else ""
+                if a.val is _UNKNOWN or b.val is _UNKNOWN:
+                    raise _Refuse("sent-is")
+                res = (a.val is b.val) ^ bool(ins.arg)
+                stack.append(
+                    _V(f"({a.expr} is{neg} {b.expr})", res, a.const and b.const)
+                )
+                i += 1
+            elif op == "UNARY_NOT":
+                a = self.as_int(stack.pop())
+                r = not a.val
+                stack.append(
+                    self.const(r) if a.const
+                    else _V(f"(not {a.expr})", r, intok=True)
+                )
+                i += 1
+            elif op == "UNARY_NEGATIVE":
+                a = self.as_int(stack.pop())
+                r = -a.val
+                stack.append(
+                    self.const(r) if a.const
+                    else _V(f"(-{a.expr})", r, intok=True)
+                )
+                i += 1
+            elif op == "UNARY_INVERT":
+                a = self.as_int(stack.pop())
+                r = ~a.val
+                stack.append(
+                    self.const(r) if a.const
+                    else _V(f"(~{a.expr})", r, intok=True)
+                )
+                i += 1
+            elif op == "SWAP":
+                n = ins.arg
+                stack[-n], stack[-1] = stack[-1], stack[-n]
+                i += 1
+            elif op == "COPY":
+                stack.append(stack[-ins.arg])
+                i += 1
+            elif op in (
+                "POP_JUMP_FORWARD_IF_FALSE",
+                "POP_JUMP_BACKWARD_IF_FALSE",
+                "POP_JUMP_FORWARD_IF_TRUE",
+                "POP_JUMP_BACKWARD_IF_TRUE",
+            ):
+                cond = stack.pop()
+                want_true = op.endswith("TRUE")
+                i = self.branch(cond, want_true, ins, off2idx, i)
+            elif op in (
+                "POP_JUMP_FORWARD_IF_NONE",
+                "POP_JUMP_BACKWARD_IF_NONE",
+                "POP_JUMP_FORWARD_IF_NOT_NONE",
+                "POP_JUMP_BACKWARD_IF_NOT_NONE",
+            ):
+                v = stack.pop()
+                if v.val is _UNKNOWN:
+                    raise _Refuse("sent-branch")
+                isnone = v.val is None
+                cond = _V(f"({v.expr} is None)", isnone, v.const)
+                want_true = "NOT_NONE" not in op
+                i = self.branch(cond, want_true, ins, off2idx, i)
+            elif op in ("JUMP_FORWARD", "JUMP_BACKWARD", "JUMP_BACKWARD_NO_INTERRUPT"):
+                i = off2idx[ins.argval]
+            elif op == "CALL":
+                self.call(ins.arg, stack)
+                i += 1
+            elif op == "YIELD_VALUE":
+                if ins.offset != self.st.site:
+                    raise _Refuse("multi-yield-site")
+                y = stack.pop()
+                self.finish(y)
+                return self.ops
+            elif op == "RETURN_VALUE":
+                raise _Refuse("return-reached")
+            else:
+                raise _Refuse(f"opcode:{op}")
+
+    def branch(self, cond: _V, want_true: bool, ins, off2idx, i) -> int:
+        val = cond.val
+        if val is _UNKNOWN:
+            raise _Refuse("sent-branch")
+        if type(val) not in (bool, int):
+            raise _Refuse("non-int-branch")
+        truth = bool(val)
+        if not cond.const:
+            self.ops.append(("bguard", cond.expr, truth))
+        if truth == want_true:
+            return off2idx[ins.argval]
+        return i + 1
+
+    # -- locals ----------------------------------------------------------
+    def load_fast(self, name: str) -> _V:
+        st = self.st
+        idx = st.slot_of.get(name)
+        if idx is not None:
+            sym = self.shadow_sym.get(idx)
+            if sym is not None:
+                return sym
+            v = self.newv(f"sh[{idx}]", st.shadow[idx], intok=True)
+            self.shadow_sym[idx] = v
+            return v
+        if name not in self.f_locals:
+            raise _Refuse("local-unbound")
+        val = self.f_locals[name]
+        st.note_const_local(name, val)
+        return self.const(val)
+
+    def store_fast(self, name: str, v: _V) -> None:
+        st = self.st
+        idx = st.slot_of.get(name)
+        if idx is None:
+            raise _Refuse("store-unshadowed")
+        if v.val is _UNKNOWN:
+            raise _Refuse("sent-store")
+        if type(v.val) not in (int, bool):
+            raise _Refuse("non-int-store")
+        v = self.as_int(v)
+        self.shadow_sym[idx] = v
+        self.shadow_stored[idx] = v
+
+    # -- cells -----------------------------------------------------------
+    def load_deref(self, name: str) -> _V:
+        fwd = self.cell_fwd.get(name)
+        if fwd is not None:
+            return fwd
+        cell = self.cells.get(name)
+        if cell is None:
+            raise _Refuse("cell-unbound")
+        cname = self.st.bind_const(cell)
+        return self.newv(f"{cname}.cell_contents", cell.cell_contents)
+
+    def store_deref(self, name: str, v: _V) -> None:
+        cell = self.cells.get(name)
+        if cell is None:
+            raise _Refuse("cell-unbound")
+        if v.val is _UNKNOWN:
+            raise _Refuse("sent-store")
+        cname = self.st.bind_const(cell)
+        self.effect(f"{cname}.cell_contents = {v.expr}")
+        self.cell_fwd[name] = v
+
+    # -- globals ---------------------------------------------------------
+    def load_global(self, name: str) -> _V:
+        frame = self.frame
+        if name in frame.f_globals:
+            val = frame.f_globals[name]
+        else:
+            bi = frame.f_builtins
+            if isinstance(bi, dict) and name in bi:
+                val = bi[name]
+            else:
+                raise _Refuse("global-unbound")
+        # module globals are assumed constant for the segment's lifetime
+        # (imports, trigger classes); rebinding one mid-run is out of
+        # the supported model and is documented as such.
+        return self.const(val)
+
+    # -- attributes ------------------------------------------------------
+    def load_attr(self, base: _V, attr: str) -> _V:
+        base = self.as_base(base)
+        obj = base.val
+        if isinstance(obj, Signal):
+            if attr == "value":
+                lv = self.newv(f"{base.expr}._value", obj._value)
+                if lv.val.xmask | lv.val.zmask:
+                    raise _Refuse("x-at-trace")
+                self.guard(f"{lv.expr}.xmask | {lv.expr}.zmask", "x-read")
+                return self.newv(f"{lv.expr}.value", lv.val.value)
+            if attr in ("width", "name"):
+                return self.const(getattr(obj, attr))
+            raise _Refuse("signal-attr")
+        fwd = self.attr_fwd.get((id(obj), attr))
+        if fwd is not None:
+            return fwd
+        desc = _data_descriptor(type(obj), attr)
+        if desc is not None and not isinstance(
+            desc, (types.MemberDescriptorType,)
+        ):
+            if hasattr(desc, "__set__") or hasattr(desc, "__get__"):
+                raise _Refuse("descriptor-attr")
+        try:
+            val = getattr(obj, attr)
+        except AttributeError:
+            raise _Refuse("attr-missing") from None
+        return self.newv(f"{base.expr}.{attr}", val)
+
+    def store_attr(self, base: _V, attr: str, v: _V) -> None:
+        base = self.as_base(base)
+        obj = base.val
+        if isinstance(obj, Signal) and attr == "next":
+            self.sig_next(base, obj, v)
+            return
+        if isinstance(obj, Signal):
+            raise _Refuse("signal-attr-store")
+        desc = _data_descriptor(type(obj), attr)
+        if desc is not None and hasattr(desc, "__set__") and not isinstance(
+            desc, types.MemberDescriptorType
+        ):
+            raise _Refuse("descriptor-store")
+        if not hasattr(obj, "__dict__") and desc is None:
+            raise _Refuse("slotless-store")
+        if v.val is _UNKNOWN:
+            raise _Refuse("sent-store")
+        self.effect(f"{base.expr}.{attr} = {v.expr}")
+        self.attr_fwd[(id(obj), attr)] = v
+
+    def sig_next(self, base: _V, sig: Signal, v: _V) -> None:
+        """``sig.next = value`` — the property setter's fast path, inline.
+
+        Replicates ``Signal.next``: a plain int in ``[0, limit)`` interns
+        through ``_make`` and lands in ``sim._updates``.  Anything else
+        (negative, oversized, LogicVector, X) side-exits so the real
+        setter runs with its width warnings and normalization.
+        """
+        v = self.as_int(v)
+        limit = sig._limit
+        if v.const:
+            if not (0 <= v.val < limit):
+                raise _Refuse("sig-bounds-const")
+        else:
+            self.guard(f"not (0 <= {v.expr} < {limit})", "sig-bounds")
+        mk = self.st.bind_const(sig._make)
+        self.effect(f"U[{base.expr}] = {mk}({v.expr})")
+
+    # -- subscripts ------------------------------------------------------
+    def subscr(self, base: _V, idx: _V) -> _V:
+        base = self.as_base(base)
+        obj = base.val
+        if type(obj) is not list:
+            raise _Refuse("subscr-non-list")
+        if not idx.const or type(idx.val) is not int or idx.val < 0:
+            raise _Refuse("subscr-index")
+        fwd = self.sub_fwd.get((id(obj), idx.val))
+        if fwd is not None:
+            return fwd
+        self.guard(f"not ({idx.val} < len({base.expr}))", "bounds")
+        if idx.val >= len(obj):
+            raise _Refuse("subscr-oob-at-trace")
+        return self.newv(f"{base.expr}[{idx.val}]", obj[idx.val])
+
+    def store_subscr(self, base: _V, idx: _V, v: _V) -> None:
+        base = self.as_base(base)
+        obj = base.val
+        if type(obj) is not list:
+            raise _Refuse("subscr-non-list")
+        if not idx.const or type(idx.val) is not int or idx.val < 0:
+            raise _Refuse("subscr-index")
+        if v.val is _UNKNOWN:
+            raise _Refuse("sent-store")
+        self.guard(f"not ({idx.val} < len({base.expr}))", "bounds")
+        if idx.val >= len(obj):
+            raise _Refuse("subscr-oob-at-trace")
+        self.effect(f"{base.expr}[{idx.val}] = {v.expr}")
+        self.sub_fwd[(id(obj), idx.val)] = v
+
+    # -- arithmetic ------------------------------------------------------
+    def binop(self, sym: str, a: _V, b: _V) -> _V:
+        if sym not in _INT_BINOPS:
+            raise _Refuse(f"binop:{sym}")
+        a = self.as_int(a)
+        b = self.as_int(b)
+        try:
+            val = eval(f"a {sym} b", {"a": a.val, "b": b.val})  # noqa: S307
+        except (ZeroDivisionError, ValueError):
+            raise _Refuse("arith-error-at-trace") from None
+        if a.const and b.const:
+            return self.const(val)
+        return self.newv(f"{a.expr} {sym} {b.expr}", val, intok=True)
+
+    def compare(self, sym: str, a: _V, b: _V) -> _V:
+        if sym not in _INT_COMPARES:
+            raise _Refuse(f"compare:{sym}")
+        a = self.as_int(a)
+        b = self.as_int(b)
+        val = eval(f"a {sym} b", {"a": a.val, "b": b.val})  # noqa: S307
+        if a.const and b.const:
+            return _V(repr(val), val, True)
+        return _V(f"({a.expr} {sym} {b.expr})", val, intok=True)
+
+    # -- calls (trigger constructors only) -------------------------------
+    def call(self, argc: int, stack: List[_V]) -> None:
+        args = [stack.pop() for _ in range(argc)][::-1]
+        callee = stack.pop()
+        marker = stack.pop()
+        if marker.val is not _NULL:
+            raise _Refuse("method-call")
+        if not callee.const or callee.val not in _TRIGGER_CTORS:
+            raise _Refuse("foreign-call")
+        cls = callee.val
+        if cls is Timer:
+            if len(args) != 1:
+                raise _Refuse("timer-args")
+            d = self.as_int(args[0])
+            if d.const:
+                if d.val < 0:
+                    raise _Refuse("timer-negative")
+                trig = self.st.cached_trigger(
+                    (Timer, d.val), lambda: Timer(d.val)
+                )
+                stack.append(_V(self.st.bind_const(trig), trig, True))
+            else:
+                self.guard(f"{d.expr} < 0", "timer-delay")
+                stack.append(_V(f"{callee.expr}({d.expr})", _FRESH_TRIGGER))
+        elif cls is NullTrigger:
+            if args:
+                raise _Refuse("nulltrigger-args")
+            trig = self.st.cached_trigger((NullTrigger,), NullTrigger)
+            stack.append(_V(self.st.bind_const(trig), trig, True))
+        else:
+            if len(args) != 1:
+                raise _Refuse("edge-args")
+            sig = self.as_base(args[0])
+            if not isinstance(sig.val, Signal):
+                raise _Refuse("edge-non-signal")
+            sig_obj = sig.val
+            trig = self.st.cached_trigger(
+                (cls, id(sig_obj)), lambda: cls(sig_obj)
+            )
+            stack.append(_V(self.st.bind_const(trig), trig, True))
+
+    # -- terminal --------------------------------------------------------
+    def finish(self, y: _V) -> None:
+        from ..events import Trigger
+
+        if y.val is _FRESH_TRIGGER:
+            pass
+        elif y.const and isinstance(y.val, Trigger):
+            pass  # re-yielding a pre-built trigger object (identity kept)
+        else:
+            raise _Refuse("yield-non-trigger")
+        for idx, sym in sorted(self.shadow_stored.items()):
+            self.ops.append(("effect", f"sh[{idx}] = {sym.expr}"))
+        self.ops.append(("yield", y.expr))
+
+
+class _FreshTrigger:
+    """Marker: the value is a trigger constructed inside the segment."""
+
+
+_FRESH_TRIGGER = _FreshTrigger()
+
+
+# ----------------------------------------------------------------------
+# Tree emission
+# ----------------------------------------------------------------------
+def _emit_tree(paths: List[List[tuple]], pos: int, lines: List[str], ind: str, exits: List[tuple]) -> None:
+    while True:
+        first = paths[0][pos]
+        kind = first[0]
+        if kind == "bguard":
+            cond = first[1]
+            if any(p[pos][0] != "bguard" or p[pos][1] != cond for p in paths):
+                raise _Refuse("tree-mismatch")
+            tpaths = [p for p in paths if p[pos][2]]
+            fpaths = [p for p in paths if not p[pos][2]]
+            if tpaths and fpaths:
+                lines.append(f"{ind}if {cond}:")
+                _emit_tree(tpaths, pos + 1, lines, ind + "    ", exits)
+                lines.append(f"{ind}else:")
+                _emit_tree(fpaths, pos + 1, lines, ind + "    ", exits)
+                return
+            taken = bool(tpaths)
+            n = len(exits)
+            exits.append(("branch-miss", True))
+            fail = f"not ({cond})" if taken else cond
+            lines.append(f"{ind}if {fail}:")
+            lines.append(f"{ind}    return _side(et, {n})")
+            pos += 1
+            continue
+        if any(p[pos] != first for p in paths):
+            raise _Refuse("tree-mismatch")
+        if kind == "line" or kind == "effect":
+            lines.append(ind + first[1])
+        elif kind == "guard":
+            n = len(exits)
+            exits.append((first[2], False))
+            lines.append(f"{ind}if {first[1]}:")
+            lines.append(f"{ind}    return _side(et, {n})")
+        elif kind == "yield":
+            lines.append(f"{ind}return {first[1]}")
+            return
+        pos += 1
+
+
+# ----------------------------------------------------------------------
+# Segment state: shadow locals, trace tree, compile/install/deopt
+# ----------------------------------------------------------------------
+class _SegmentState:
+    __slots__ = (
+        "sim",
+        "proc",
+        "gen",
+        "site",
+        "shadow",
+        "slot_of",
+        "slot_names",
+        "consts",
+        "_const_ids",
+        "const_locals",
+        "trig_cache",
+        "owned",
+        "paths",
+        "exits",
+        "entry",
+        "source",
+        "misses",
+        "retraces",
+        "active",
+        "exit_count",
+    )
+
+    def __init__(self, sim, proc):
+        self.sim = sim
+        self.proc = proc
+        self.gen = proc._gen
+        self.site = self.gen.gi_frame.f_lasti
+        self.shadow: List = []
+        self.slot_of: dict = {}
+        self.slot_names: List[str] = []
+        self.consts: dict = {}
+        self._const_ids: dict = {}
+        self.const_locals: dict = {}
+        self.trig_cache: dict = {}
+        #: triggers created by :meth:`cached_trigger` — objects real
+        #: generator code can never yield (it holds no reference to
+        #: them), which is what makes the driver's resonance fast path
+        #: sound: while every resume in a timestep round-trips through
+        #: an owned trigger, no foreign code has run, so monitors,
+        #: events, finish() and X injection are all impossible.
+        self.owned: set = set()
+        self.paths: List[List[tuple]] = []
+        self.exits: List[tuple] = []
+        self.entry = None
+        self.source = ""
+        self.misses = 0
+        self.retraces = 0
+        self.active = False
+        #: bumped on every side exit.  A side exit is the one place
+        #: real generator code can run behind a segment's back (the
+        #: replay could even hand the owned trigger straight back), so
+        #: the driver's resonance loops compare this counter per
+        #: resume and leave the fast path whenever it moved.
+        self.exit_count = 0
+
+    # -- consts ----------------------------------------------------------
+    def bind_const(self, obj) -> str:
+        name = self._const_ids.get(id(obj))
+        if name is None:
+            name = f"K{len(self._const_ids)}"
+            self._const_ids[id(obj)] = name
+            self.consts[name] = obj
+        return name
+
+    def cached_trigger(self, key: tuple, make):
+        """One reusable trigger instance per constructor-call shape.
+
+        A trigger a segment yields directly is single-use by
+        construction: it is fired (waiters cleared, edge lists
+        unprimed) before the process can reach the same yield again,
+        and ``Timer._prime`` recomputes its deadline from ``sim.time``
+        on every arm.  So constructor calls with constant arguments
+        collapse to one shared instance per (class, args) shape —
+        eliminating two object allocations per steady-state resume.
+        Keyed per segment state, so retraces re-emit the same constant
+        name and tree merging sees identical ops.
+        """
+        trig = self.trig_cache.get(key)
+        if trig is None:
+            trig = self.trig_cache[key] = make()
+        return trig
+
+    def note_const_local(self, name: str, val) -> None:
+        """A frame local embedded as a constant; re-verified on replay."""
+        if name not in self.const_locals:
+            self.const_locals[name] = val
+
+    # -- shadow ----------------------------------------------------------
+    def init_shadow(self) -> None:
+        code = self.gen.gi_code
+        frame = self.gen.gi_frame
+        loc = frame.f_locals
+        stored = set()
+        for ins in _instructions(code)[0]:
+            if ins.opname == "STORE_FAST":
+                stored.add(ins.argval)
+        for name in code.co_varnames:
+            if name not in stored or name not in loc:
+                continue
+            val = loc[name]
+            if type(val) not in (int, bool):
+                continue  # reads of it become verified constants
+            self.slot_of[name] = len(self.shadow)
+            self.slot_names.append(name)
+            self.shadow.append(val)
+
+    # -- compile/install -------------------------------------------------
+    def compile_entry(self) -> None:
+        lines: List[str] = []
+        exits: List[tuple] = [("internal-replay", False)]
+        _emit_tree(self.paths, 0, lines, "        ", exits)
+        src = (
+            "def _segment(et):\n"
+            "    sh = SH\n"
+            "    try:\n" + "\n".join(lines) + "\n"
+            "    except Exception:\n"
+            # the recovery replay is only sound while the segment is
+            # still active: an exception that propagated out of a side
+            # exit's own replay (the generator genuinely raised, or
+            # finished via StopIteration) has already deactivated the
+            # segment and must reach the scheduler as-is — replaying
+            # into the dead generator would turn it into a silent,
+            # clean-looking completion
+            "        if not S.active:\n"
+            "            raise\n"
+            "        return _side(et, 0)\n"
+        )
+        ns = dict(self.consts)
+        ns["SH"] = self.shadow
+        ns["S"] = self
+        ns["U"] = self.sim._updates
+        ns["_side"] = self.side_exit
+        code = compile(src, f"<segment:{self.proc.name}@{self.site}>", "exec")
+        exec(code, ns)  # noqa: S102
+        self.entry = ns["_segment"]
+        self.source = src
+        self.exits = exits
+        self.owned = set(self.trig_cache.values())
+
+    def install(self) -> None:
+        self.active = True
+        self.proc._seg = self
+        self.proc._send = self.entry
+
+    def uninstall(self, reason: str) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self.proc._seg = False  # permanent: do not re-consider
+        self.proc._send = self.gen.send
+        record_codegen_event(self.sim, "deopt", reason)
+
+    def deactivate(self) -> None:
+        """kill()/close() path: write state back, then step aside."""
+        if not self.active:
+            return
+        self.sync()
+        self.uninstall("kill")
+
+    # -- frame sync ------------------------------------------------------
+    def sync(self) -> None:
+        frame = self.gen.gi_frame
+        if frame is None:
+            return
+        loc = frame.f_locals
+        shadow = self.shadow
+        for k, name in enumerate(self.slot_names):
+            loc[name] = shadow[k]
+        _LocalsToFast(ctypes.py_object(frame), ctypes.c_int(0))
+
+    def recapture(self, frame) -> bool:
+        """Refresh the shadow from the live frame after a replay."""
+        loc = frame.f_locals
+        shadow = self.shadow
+        for k, name in enumerate(self.slot_names):
+            if name not in loc:
+                return False
+            val = loc[name]
+            if type(val) not in (int, bool):
+                return False
+            shadow[k] = val
+        for name, expect in self.const_locals.items():
+            if name not in loc or loc[name] is not expect:
+                if type(expect) in (int, bool) and loc.get(name) == expect:
+                    continue
+                return False
+        return True
+
+    # -- side exits ------------------------------------------------------
+    def side_exit(self, et, exit_id: int):
+        self.exit_count += 1
+        reason, is_branch = self.exits[exit_id]
+        self.sync()
+        gen = self.gen
+        proc = self.proc
+        if (
+            is_branch
+            and len(self.paths) < MAX_PATHS
+            and self.retraces < MAX_RETRACES
+        ):
+            self.retraces += 1
+            if self.retrace(et):
+                return self.entry(et)
+        self.misses += 1
+        if self.misses > MAX_MISSES:
+            self.uninstall(f"miss-budget:{reason}")
+            return gen.send(et)
+        try:
+            y = gen.send(et)
+        except BaseException:
+            # generator finished or raised: canonical propagation,
+            # nothing left to keep in sync
+            self.active = False
+            self.proc._seg = False
+            self.proc._send = gen.send
+            record_codegen_event(self.sim, "deopt", f"gen-exit:{reason}")
+            raise
+        frame = gen.gi_frame
+        if proc.finished or frame is None or frame.f_lasti != self.site:
+            self.uninstall(f"site-changed:{reason}")
+        elif not self.recapture(frame):
+            self.uninstall(f"state-drift:{reason}")
+        return y
+
+    def retrace(self, sent_val) -> bool:
+        """Grow the trace tree from the live (just-synced) frame."""
+        try:
+            tracer = _Tracer(self, sent_val=sent_val)
+            path = tracer.run()
+        except _Refuse:
+            return False
+        except Exception:  # noqa: BLE001 - tracer bug: stay safe
+            return False
+        if path in self.paths:
+            return False
+        self.paths.append(path)
+        try:
+            # compile_entry only commits entry/exits/source on success,
+            # so the old compiled entry stays valid on failure
+            self.compile_entry()
+        except Exception:  # noqa: BLE001 - includes _Refuse (tree mismatch)
+            self.paths.pop()
+            return False
+        self.proc._send = self.entry
+        return True
+
+
+# ----------------------------------------------------------------------
+# Driver hook
+# ----------------------------------------------------------------------
+def consider(sim, proc) -> None:
+    """Try to trace-compile ``proc``'s current inter-yield segment.
+
+    Called by the compiled driver when a process crosses the hot
+    threshold.  Never raises; on any refusal the process is marked so
+    it is not considered again.
+    """
+    if DISABLED_REASON is not None or proc._seg is not None or proc.finished:
+        return
+    gen = proc._gen
+    if type(gen) is not _GeneratorType:
+        proc._seg = False
+        return
+    if gen.gi_running or gen.gi_yieldfrom is not None:
+        proc._seg = False
+        record_codegen_event(sim, "refuse", "yield-from")
+        return
+    frame = gen.gi_frame
+    if frame is None:
+        proc._seg = False
+        return
+    state = _SegmentState(sim, proc)
+    try:
+        state.init_shadow()
+        tracer = _Tracer(state)
+        path = tracer.run()
+        state.paths.append(path)
+        state.compile_entry()
+    except _Refuse as r:
+        proc._seg = False
+        record_codegen_event(sim, "refuse", r.reason)
+        return
+    except Exception:  # noqa: BLE001 - tracing must never take the sim down
+        proc._seg = False
+        record_codegen_event(sim, "refuse", "tracer-error")
+        return
+    state.install()
+    record_codegen_event(sim, "install", proc.name)

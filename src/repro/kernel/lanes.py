@@ -31,9 +31,11 @@ path executed it.
 cannot satisfy is *peeled*: it is removed from the lane arrays and
 re-run from t=0 on the scalar path (byte-determinism makes the re-run
 exact).  Plan-time divergences peel before the vector loop starts — a
-VCD or monitor demand in the lane's parameters, a signal wider than the
-64-bit packed representation, any behavioural process besides the
-clock and the comb region.  Run-time divergences peel mid-loop at the
+VCD or monitor demand in the lane's parameters, any behavioural
+process besides the clock and the comb region.  Signals wider than 64
+bits no longer peel: the whole design switches to the wide lane
+dialect (object-dtype arrays of Python ints — exact at any width,
+slower per element, still vectorized).  Run-time divergences peel mid-loop at the
 cycle boundary where they appear — X/Z stimulus, or an explicit
 ``diverge_at_cycle`` parameter (the reconfig-timing-skew model: the
 lane's schedule departs from the shared one).  Divergence markers
@@ -217,14 +219,15 @@ def run_scalar_lane(program: LaneProgram, lane_param: dict,
 # Lane code generation (cached by content)
 # ----------------------------------------------------------------------
 def _emit_transfers(transfers: Sequence[Tuple[Signal, CombExpr]],
-                    inputs: Sequence[Signal], lanes: bool):
+                    inputs: Sequence[Signal], lanes: bool,
+                    wide: bool = False):
     """Emit the register-step function.
 
     Unlike a comb region this is *not* levelized: every transfer reads
     pre-edge values, so targets are never folded into the read names.
     """
     names = {sig: f"i{k}" for k, sig in enumerate(inputs)}
-    ctx = EmitContext(names, lanes=lanes)
+    ctx = EmitContext(names, lanes=lanes, wide=wide)
     lines = [
         f"    t{j} = {expr.emit(ctx)}"
         for j, (_target, expr) in enumerate(transfers)
@@ -264,25 +267,38 @@ def _reg_read_signals(spec: LaneSpec) -> List[Signal]:
     return list(seen)
 
 
+#: helper names the emitter binds in lane namespaces — stripped from
+#: cached artifacts (pure data) and re-bound at exec time
+_LANE_HELPERS = ("NPU64", "NPW", "NPBC", "NPOBJ", "NPPC")
+
+
 def _portable_consts(consts: Dict[str, object]) -> Dict[str, int]:
     """Strip the NumPy helper bindings; keep constants as plain ints."""
     out = {}
     for name, value in consts.items():
-        if name in ("NPU64", "NPW", "NPBC"):
+        if name in _LANE_HELPERS:
             continue
         out[name] = int(value)
     return out
 
 
-def _exec_lane_source(src: str, consts: Dict[str, int], fname: str):
+def _exec_lane_source(src: str, consts: Dict[str, int], fname: str,
+                      wide: bool = False):
     import numpy as np
 
     ns: Dict[str, object] = {
         "NPU64": np.uint64,
         "NPW": np.where,
         "NPBC": np.bitwise_count,
+        "NPOBJ": np.frompyfunc(int, 1, 1),
+        "NPPC": np.frompyfunc(lambda v: int(v).bit_count(), 1, 1),
     }
-    ns.update({name: np.uint64(value) for name, value in consts.items()})
+    if wide:
+        # object-dtype lanes hold Python ints: constants stay plain ints
+        # (a np.uint64 operand would overflow against a >64-bit value)
+        ns.update(consts)
+    else:
+        ns.update({name: np.uint64(value) for name, value in consts.items()})
     exec(compile(src, f"<{fname}>", "exec"), ns)  # noqa: S102
     return ns
 
@@ -292,24 +308,29 @@ def _compiled_lane_code(program: LaneProgram, module: Module, spec: LaneSpec):
 
     The cached artifact is pure data — the emitted sources plus their
     integer constants — keyed by the scalar emission of the same
-    design, so equal keys imply equal code.  Raises
-    :class:`~repro.kernel.codegen.expr.LaneWidthError` for designs that
-    do not fit the packed representation (a plan-time divergence).
+    design, so equal keys imply equal code.  A design with any signal
+    wider than 64 bits compiles in the wide lane dialect (object-dtype
+    arrays of Python ints) instead of peeling: slower per element than
+    packed ``uint64``, but still vectorized across lanes.
     """
     from ..exec.cache import ARTIFACT_CACHE
     from .codegen.emitter import _emit_region_source
 
     region = _find_region(module)
     reg_reads = _reg_read_signals(spec)
-    for sig in list(spec.inputs) + [t for t, _ in spec.registers] + reg_reads:
-        if sig.width > 64:
-            raise LaneWidthError(sig.width)
+    width_sigs = (
+        list(spec.inputs) + [t for t, _ in spec.registers] + reg_reads
+    )
+    if region is not None:
+        width_sigs += list(region.inputs) + list(region.targets)
+    wide = any(sig.width > 64 for sig in width_sigs)
 
     scalar_reg_src, _ = _emit_transfers(spec.registers, reg_reads, lanes=False)
     key = {
         "program": program.name,
         "comb": region.source if region is not None else "",
         "regs": scalar_reg_src,
+        "wide": wide,
         "widths": tuple(
             (sig.name, sig.width)
             for sig in (list(spec.inputs) + [t for t, _ in spec.registers])
@@ -319,30 +340,33 @@ def _compiled_lane_code(program: LaneProgram, module: Module, spec: LaneSpec):
     def build():
         if region is not None:
             comb_src, comb_consts = _emit_region_source(
-                region.ordered, region.inputs, lanes=True
+                region.ordered, region.inputs, lanes=True, wide=wide
             )
         else:
             comb_src, comb_consts = "", {}
         reg_src, reg_consts = _emit_transfers(
-            spec.registers, reg_reads, lanes=True
+            spec.registers, reg_reads, lanes=True, wide=wide
         )
         return {
             "comb_src": comb_src,
             "comb_consts": _portable_consts(comb_consts),
             "reg_src": reg_src,
             "reg_consts": _portable_consts(reg_consts),
+            "wide": wide,
         }
 
     code = ARTIFACT_CACHE.get(LANE_CODE_KIND, key, build)
     comb_fn = None
     if code["comb_src"]:
         comb_fn = _exec_lane_source(
-            code["comb_src"], code["comb_consts"], f"lane-comb:{program.name}"
+            code["comb_src"], code["comb_consts"],
+            f"lane-comb:{program.name}", wide=wide,
         )["_comb"]
     reg_fn = _exec_lane_source(
-        code["reg_src"], code["reg_consts"], f"lane-step:{program.name}"
+        code["reg_src"], code["reg_consts"], f"lane-step:{program.name}",
+        wide=wide,
     )["_step"]
-    return comb_fn, reg_fn, reg_reads
+    return comb_fn, reg_fn, reg_reads, wide
 
 
 # ----------------------------------------------------------------------
@@ -397,8 +421,13 @@ class BatchBackend(ExecutionBackend):
 
         spec = self._spec
         module = sim._modules[-1]
-        comb_fn, reg_fn, reg_reads = _compiled_lane_code(program, module, spec)
+        comb_fn, reg_fn, reg_reads, wide = _compiled_lane_code(
+            program, module, spec
+        )
         region = _find_region(module)
+        # wide designs carry Python ints in object dtype — exact at any
+        # width; narrow designs stay on the packed uint64 fast path
+        lane_dtype = object if wide else np.uint64
 
         # ---- lane state: Signal -> (N,) uint64 array -----------------
         active: List[int] = list(range(len(self._lane_params)))
@@ -426,7 +455,7 @@ class BatchBackend(ExecutionBackend):
                 raise LaneDivergence(
                     f"signal {sig.name!r} has X/Z initial value"
                 )
-            arrays[sig] = np.full(n, init.value, dtype=np.uint64)
+            arrays[sig] = np.full(n, init.value, dtype=lane_dtype)
         comb_arrays: Dict[Signal, np.ndarray] = {}
 
         def peel(pos: int, reason: str) -> None:
@@ -510,7 +539,7 @@ class BatchBackend(ExecutionBackend):
                 if reg_targets:
                     outs = reg_fn(*[value_of(sig) for sig in reg_reads])
                     for target, out in zip(reg_targets, outs):
-                        arrays[target] = np.asarray(out, dtype=np.uint64)
+                        arrays[target] = np.asarray(out, dtype=lane_dtype)
                 apply_stimulus(cycle + 1)
             if active:
                 settle_comb()

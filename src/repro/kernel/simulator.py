@@ -278,7 +278,7 @@ class Simulator:
                 proc._waiting_on = None
                 proc.resume_count += 1
                 try:
-                    yielded = proc._gen.send(fired)
+                    yielded = proc._send(fired)
                 except StopIteration as stop:
                     proc.finished = True
                     proc.result = getattr(stop, "value", None)
@@ -518,7 +518,7 @@ class Simulator:
                         proc._waiting_on = None
                         proc.resume_count += 1
                         try:
-                            yielded = proc._gen.send(sent)
+                            yielded = proc._send(sent)
                         except StopIteration as stop:
                             proc.finished = True
                             proc.result = stop.value

@@ -1,0 +1,357 @@
+"""Deopt correctness of trace-compiled process segments.
+
+The codegen backend trace-compiles hot inter-yield generator segments
+(:mod:`repro.kernel.codegen.segments`) and swaps the compiled entry
+into ``Process._send``.  Everything observable must stay bit-identical
+to the interpreter across the whole deopt matrix: side exits that
+replay through the real generator, mid-run X injection, ``kill()``
+closing a generator whose locals live in the segment shadow, bodies
+that raise, triggers echoed back at the driver's resonance loop, and
+VCD capture.  Segments install only on supported platforms; every
+parity assertion here holds whether or not compilation kicked in, so
+the suite is green either way — but on CPython it also asserts the
+segment really was exercised where the scenario guarantees it.
+"""
+
+import io
+
+import pytest
+
+from repro.kernel import (
+    Edge,
+    MHz,
+    Module,
+    Signal,
+    Simulator,
+    Timer,
+    VcdWriter,
+    xbits,
+)
+from repro.kernel.codegen.segments import DISABLED_REASON, HOT_MASK
+
+SEGMENTS_AVAILABLE = DISABLED_REASON is None
+
+# enough resumes for the hot check to fire and the segment to settle in
+N_CYCLES = 8 * (HOT_MASK + 1)
+
+
+def _fingerprint(sim, *extra):
+    st = sim.stats
+    return (
+        sim.time,
+        st.resumes,
+        st.value_changes,
+        tuple(sorted((k.path, v) for k, v in st.resumes_by_owner.items())),
+        tuple(sorted((k.path, v) for k, v in st.changes_by_owner.items())),
+        extra,
+    )
+
+
+def _both(build_and_run):
+    return build_and_run("interp"), build_and_run("codegen")
+
+
+def _deopt_reasons(sim):
+    be = sim._backend
+    counts = getattr(be, "event_counts", {})
+    return sorted(reason for (kind, reason) in counts if kind == "deopt")
+
+
+class TestSegmentInstall:
+    def test_hot_fsm_installs_segment_and_matches_interp(self):
+        segs = {}
+
+        def run(backend):
+            sim = Simulator(backend=backend)
+            state = Signal("state", 8, init=0)
+            out = Signal("out", 8, init=0)
+            sim.register_signal(state)
+            sim.register_signal(out)
+
+            def fsm():
+                acc = 0
+                i = 0
+                while i < N_CYCLES:
+                    acc = (acc * 5 + i) & 0xFFFF
+                    state.next = acc & 0xFF
+                    out.next = (acc >> 8) & 0xFF
+                    i += 1
+                    yield Timer(10)
+
+            proc = sim.fork(fsm(), "fsm")
+            sim.run()
+            counts = getattr(sim._backend, "event_counts", {})
+            segs[backend] = ("install", "fsm") in counts
+            assert proc.finished
+            return _fingerprint(
+                sim, state.value.value, out.value.value,
+                state.change_count, out.change_count, state.fast_hits,
+            )
+
+        a, b = _both(run)
+        assert a == b
+        assert not segs["interp"]  # the interpreter never compiles
+        if SEGMENTS_AVAILABLE:
+            # the hot loop really went through a compiled segment (it
+            # deopts at the end, when the finite generator exhausts)
+            assert segs["codegen"]
+
+    def test_segment_stats_stay_exact_across_side_exits(self):
+        # a data-dependent branch forces periodic side exits (replay
+        # through the real generator) and retraces; counters must not
+        # drift by even one resume or commit
+        def run(backend):
+            sim = Simulator(backend=backend)
+            sig = Signal("s", 16, init=0)
+            sim.register_signal(sig)
+            hits = [0]
+
+            def writer():
+                i = 0
+                while i < N_CYCLES:
+                    if i % 97 == 3:  # rare branch: traced late or never
+                        hits[0] += 1
+                        sig.next = 0xBEEF ^ i
+                    else:
+                        sig.next = i & 0xFFFF
+                    i += 1
+                    yield Timer(7)
+
+            sim.fork(writer(), "writer")
+            sim.run()
+            return _fingerprint(sim, sig.value.value, hits[0],
+                                sig.change_count)
+
+        a, b = _both(run)
+        assert a == b
+
+
+class TestDeoptMatrix:
+    def test_mid_run_x_injection_parity(self):
+        # X-carrying commits can't take any compiled fast path; they
+        # must flow through the four-state interpreter on both backends
+        def run(backend):
+            sim = Simulator(backend=backend)
+            sig = Signal("s", 8, init=0)
+            sim.register_signal(sig)
+            log = []
+
+            def writer():
+                i = 0
+                while i < N_CYCLES:
+                    if i == 700:
+                        sig.next = xbits(8)
+                    elif i == 701:
+                        sig.next = 0x5A
+                    else:
+                        sig.next = (i * 3) & 0xFF
+                    i += 1
+                    yield Timer(5)
+
+            def watcher():
+                while True:
+                    yield Edge(sig)
+                    log.append(repr(sig.value))
+
+            sim.fork(writer(), "writer")
+            sim.fork(watcher(), "watcher")
+            sim.run()
+            return _fingerprint(sim, tuple(log), sig.fast_hits,
+                                sig.fast_misses)
+
+        a, b = _both(run)
+        assert a == b
+
+    def test_kill_syncs_shadow_locals_into_finally(self):
+        # kill() closes the generator; a finally block then reads the
+        # loop locals.  The segment keeps those locals in its shadow, so
+        # deactivate() must write them back before close() or the
+        # finally observes stale values.
+        finals = {}
+
+        def run(backend):
+            sim = Simulator(backend=backend)
+            sig = Signal("s", 16, init=0)
+            sim.register_signal(sig)
+
+            def counter():
+                i = 0
+                try:
+                    while True:
+                        i += 1
+                        sig.next = i & 0xFFFF
+                        yield Timer(10)
+                finally:
+                    finals[backend] = i
+
+            proc = sim.fork(counter(), "counter")
+
+            def killer():
+                yield Timer(10 * N_CYCLES)
+                proc.kill()
+
+            sim.fork(killer(), "killer")
+            sim.run()
+            return _fingerprint(sim, sig.value.value, proc.finished)
+
+        a, b = _both(run)
+        assert a == b
+        assert finals["interp"] == finals["codegen"] == N_CYCLES
+
+    def test_body_raise_propagates_identically(self):
+        def run(backend):
+            sim = Simulator(backend=backend)
+            sig = Signal("s", 16, init=0)
+            sim.register_signal(sig)
+
+            def bomb():
+                i = 0
+                while i < N_CYCLES:
+                    sig.next = i & 0xFFFF
+                    yield Timer(10)
+                    if i == N_CYCLES - 2:
+                        raise RuntimeError("boom")
+                    i += 1
+
+            sim.fork(bomb(), "bomb")
+            with pytest.raises(Exception, match="boom"):
+                sim.run()
+            return _fingerprint(sim, sig.value.value)
+
+        a, b = _both(run)
+        assert a == b
+
+    def test_close_generator_exit_deopts_cleanly(self):
+        # the generator runs out (StopIteration through the compiled
+        # entry) — the process must finish exactly like the interpreter
+        def run(backend):
+            sim = Simulator(backend=backend)
+            sig = Signal("s", 16, init=0)
+            sim.register_signal(sig)
+
+            def finite():
+                i = 0
+                while i < N_CYCLES:
+                    sig.next = (i ^ 0x33) & 0xFFFF
+                    i += 1
+                    yield Timer(4)
+                return 0xD00D
+
+            proc = sim.fork(finite(), "finite")
+            sim.run()
+            return _fingerprint(sim, proc.finished, proc.result,
+                                sig.value.value)
+
+        a, b = _both(run)
+        assert a == b
+        assert a[-1][1] == 0xD00D
+
+    def test_trigger_echo_cannot_fool_resonance(self):
+        # `got = yield got` hands the fired trigger straight back.  On
+        # a side-exit replay that can be the driver's *owned* trigger,
+        # so `y is trig` alone no longer proves no foreign code ran —
+        # the exit_count guard must leave the fast path instead.
+        def run(backend):
+            sim = Simulator(backend=backend)
+            sig = Signal("s", 16, init=0)
+            sim.register_signal(sig)
+
+            def echo():
+                i = 0
+                got = None
+                while i < N_CYCLES:
+                    i += 1
+                    sig.next = i & 0xFFFF
+                    if got is not None and i % 51 == 0:
+                        got = yield got  # re-arm the fired trigger
+                    else:
+                        got = yield Timer(9)
+
+            sim.fork(echo(), "echo")
+            sim.run()
+            return _fingerprint(sim, sig.value.value, sig.change_count)
+
+        a, b = _both(run)
+        assert a == b
+
+    def test_zero_delay_timer_parity(self):
+        def run(backend):
+            sim = Simulator(backend=backend)
+            sig = Signal("s", 16, init=0)
+            sim.register_signal(sig)
+
+            def spinner():
+                i = 0
+                while i < N_CYCLES:
+                    sig.next = i & 0xFFFF
+                    i += 1
+                    yield Timer(0) if i % 3 else Timer(2)
+
+            sim.fork(spinner(), "spinner")
+            sim.run()
+            return _fingerprint(sim, sig.value.value, sig.change_count)
+
+        a, b = _both(run)
+        assert a == b
+
+
+class TestVcdParity:
+    def test_vcd_bytes_identical_across_deopt_matrix(self):
+        # VCD demand makes the compiled driver fall back wholesale; the
+        # waveform must still be byte-identical to the interpreter's
+        def run(backend):
+            sim = Simulator(backend=backend)
+            top = Module("top")
+            data = top.signal("data", 8, init=0)
+            stream = io.StringIO()
+            writer = VcdWriter(stream, timescale="1ps")
+            writer.trace(data, scope="top")
+
+            def stim():
+                for i in range(400):
+                    data.next = xbits(8) if i == 170 else (i * 11) & 0xFF
+                    yield Timer(10)
+
+            top.process(stim, name="stim")
+            sim.add_module(top)
+            sim.attach_vcd(writer)
+            sim.run()
+            sim.close()
+            return stream.getvalue()
+
+        a, b = _both(run)
+        assert a == b
+
+
+@pytest.mark.skipif(not SEGMENTS_AVAILABLE, reason=DISABLED_REASON or "")
+class TestDeoptEvents:
+    def test_deopt_reason_recorded_on_miss_budget(self):
+        # alternate between two yield shapes often enough to blow the
+        # side-exit miss budget: the segment must uninstall permanently
+        # and name its reason in the codegen event log
+        sim = Simulator(backend="codegen")
+        sig = Signal("s", 16, init=0)
+        sim.register_signal(sig)
+
+        def flapper():
+            i = 0
+            while i < 4 * N_CYCLES:
+                sig.next = i & 0xFFFF
+                # the modulus varies the branch structure every few
+                # resumes — hostile to a stable trace tree
+                i += 1
+                if (i // 7) % 2:
+                    yield Timer(3)
+                else:
+                    yield Timer(5)
+
+        proc = sim.fork(flapper(), "flapper")
+        sim.run()
+        # either the tracer refused up front, or it compiled and later
+        # deopted; both leave an attributed event, never a silent state
+        be = sim._backend
+        kinds = {kind for (kind, _reason) in be.event_counts}
+        if proc._seg is False:
+            assert kinds & {"deopt", "refuse"}
+        for _t, _kind, reason in be.events:
+            assert reason  # every event names its cause
